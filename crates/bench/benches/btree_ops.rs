@@ -1,0 +1,72 @@
+//! B+-tree micro-operations: the primitive costs behind the conventional
+//! configuration's numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_btree::BTree;
+use ct_storage::StorageEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_ops");
+    group.sample_size(20);
+
+    // Build a 100k-entry tree once for lookup/scan benches.
+    let env = StorageEnv::new("bench-btree").unwrap();
+    let fid = env.create_file("t").unwrap();
+    let n = 100_000u64;
+    let mut i = 0u64;
+    let tree = BTree::bulk_load(env.pool().clone(), fid, 3, 1, || {
+        if i < n {
+            let k = vec![i / 1000, (i / 10) % 100, i % 10];
+            i += 1;
+            Ok(Some((k, vec![i])))
+        } else {
+            Ok(None)
+        }
+    })
+    .unwrap();
+
+    group.bench_function("point_get", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let i = rng.gen_range(0..n);
+            tree.get(&[i / 1000, (i / 10) % 100, i % 10]).unwrap()
+        });
+    });
+
+    group.bench_function("prefix_scan_1000", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let p = rng.gen_range(0..n / 1000);
+            let mut count = 0u64;
+            tree.scan_prefix(&[p], |_, _| {
+                count += 1;
+                true
+            })
+            .unwrap();
+            count
+        });
+    });
+
+    group.bench_function("random_insert", |b| {
+        b.iter_with_setup(
+            || {
+                let env = StorageEnv::new("bench-btree-ins").unwrap();
+                let fid = env.create_file("t").unwrap();
+                let t = BTree::create(env.pool().clone(), fid, 2, 1).unwrap();
+                (env, t, StdRng::seed_from_u64(5))
+            },
+            |(_env, mut t, mut rng)| {
+                for _ in 0..1000 {
+                    let k = [rng.gen_range(0..1_000_000u64), rng.gen()];
+                    t.insert(&k, &[1]).unwrap();
+                }
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Packing throughput (\[KR97\] reports 6 GB/hour on 1997 hardware; this
+//! measures entries/second of the bulk packer on modern hardware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_common::{AggFn, AggState, Point};
+use ct_rtree::{LeafFormat, TreeBuilder, ViewInfo};
+use ct_storage::StorageEnv;
+
+fn pack_n(env: &StorageEnv, n: u64, format: LeafFormat) {
+    let fid = env.create_file("pack").unwrap();
+    let views = vec![ViewInfo { view: 1, arity: 3, agg: AggFn::Sum }];
+    let mut b = TreeBuilder::new(env.pool().clone(), fid, 3, views, format).unwrap();
+    let side = (n as f64).cbrt().ceil() as u64 + 1;
+    let mut pushed = 0;
+    'outer: for z in 1..=side {
+        for y in 1..=side {
+            for x in 1..=side {
+                b.push(1, Point::new(&[x, y, z], 3), &AggState::from_measure((x + y) as i64))
+                    .unwrap();
+                pushed += 1;
+                if pushed >= n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let t = b.finish().unwrap();
+    assert_eq!(t.entry_count(), n);
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_rate");
+    group.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        for (name, format) in
+            [("compressed", LeafFormat::Compressed), ("raw", LeafFormat::Raw)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter_with_setup(
+                    || StorageEnv::new("bench-pack").unwrap(),
+                    |env| pack_n(&env, n, format),
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

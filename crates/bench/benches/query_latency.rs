@@ -1,0 +1,49 @@
+//! Per-query latency of both engines on the paper's slice workload
+//! (the microscopic view of Figures 12/13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_bench::experiments::build_engines_or_die;
+use ct_bench::BenchArgs;
+use ct_workload::QueryGenerator;
+use cubetree::engine::RolapEngine;
+
+fn bench_queries(c: &mut Criterion) {
+    let args = BenchArgs { sf: 0.005, ..Default::default() };
+    let engines = build_engines_or_die(&args);
+    let w = &engines.warehouse;
+    let a = w.attrs();
+    let base = vec![a.partkey, a.suppkey, a.custkey];
+
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(30);
+    // Exact-view point-ish slice: fix partkey, group by suppkey.
+    let mut g = QueryGenerator::new(w.catalog(), base.clone(), 1);
+    let point_queries = g.batch_on(0b011, 64);
+    // Rollup slice on an unmaterialized node {partkey, custkey}.
+    let rollup_queries = g.batch_on(0b101, 64);
+
+    for (name, queries) in
+        [("exact_view", &point_queries), ("rollup_node", &rollup_queries)]
+    {
+        group.bench_function(format!("conventional/{name}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engines.conventional.query(q).unwrap()
+            });
+        });
+        group.bench_function(format!("cubetrees/{name}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                engines.cubetree.query(q).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

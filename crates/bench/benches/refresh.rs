@@ -1,0 +1,63 @@
+//! Refresh-path micro-benchmark: Cubetree merge-pack vs conventional
+//! row-at-a-time maintenance as the increment size grows (Table 7's
+//! mechanism, swept).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_bench::experiments::estimate_data_bytes;
+use ct_bench::BenchArgs;
+use ct_tpcd::{TpcdConfig, TpcdWarehouse};
+use ct_workload::paper_configs;
+use cubetree::engine::{ConventionalEngine, CubetreeEngine, RolapEngine};
+
+fn bench_refresh(c: &mut Criterion) {
+    let args = BenchArgs { sf: 0.003, ..Default::default() };
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: 9 });
+    let fact = w.generate_fact();
+    let pool = args.pool_pages(estimate_data_bytes(fact.len() as u64));
+
+    let mut group = c.benchmark_group("refresh");
+    group.sample_size(10);
+    for &frac in &[0.01f64, 0.1] {
+        let delta = w.generate_increment(frac);
+        group.throughput(Throughput::Elements(delta.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cubetree_merge_pack", frac),
+            &frac,
+            |b, _| {
+                b.iter_with_setup(
+                    || {
+                        let mut setup = paper_configs(&w);
+                        setup.cubetree.pool_pages = pool;
+                        let mut e =
+                            CubetreeEngine::new(w.catalog().clone(), setup.cubetree).unwrap();
+                        e.load(&fact).unwrap();
+                        e
+                    },
+                    |mut e| e.update(&delta).unwrap(),
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conventional_row_at_a_time", frac),
+            &frac,
+            |b, _| {
+                b.iter_with_setup(
+                    || {
+                        let mut setup = paper_configs(&w);
+                        setup.conventional.pool_pages = pool;
+                        let mut e =
+                            ConventionalEngine::new(w.catalog().clone(), setup.conventional)
+                                .unwrap();
+                        e.load(&fact).unwrap();
+                        e
+                    },
+                    |mut e| e.update(&delta).unwrap(),
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Minimal CLI argument parsing shared by all bench binaries.
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// TPC-D scale factor.
+    pub sf: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Queries per batch (Figure 12 uses 100 per lattice node).
+    pub queries: usize,
+    /// Buffer pool size as a fraction of the estimated data size.
+    pub pool_frac: f64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { sf: 0.01, seed: 42, queries: 100, pool_frac: 32.0 / 602.0, json: None }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--sf" => out.sf = value("--sf").parse().expect("--sf takes a float"),
+                "--seed" => out.seed = value("--seed").parse().expect("--seed takes an int"),
+                "--queries" => {
+                    out.queries = value("--queries").parse().expect("--queries takes an int")
+                }
+                "--pool-frac" => {
+                    out.pool_frac =
+                        value("--pool-frac").parse().expect("--pool-frac takes a float")
+                }
+                "--json" => out.json = Some(value("--json")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--sf F] [--seed N] [--queries N] [--pool-frac F] [--json PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Buffer pool size in pages for an estimated dataset of `data_bytes`.
+    pub fn pool_pages(&self, data_bytes: u64) -> usize {
+        let bytes = (data_bytes as f64 * self.pool_frac) as usize;
+        (bytes / ct_storage::PAGE_SIZE).max(128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let d = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!(d.sf, 0.01);
+        let a = BenchArgs::parse_from(
+            ["--sf", "0.05", "--seed", "7", "--queries", "50", "--pool-frac", "0.1"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.sf, 0.05);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.queries, 50);
+        assert_eq!(a.pool_frac, 0.1);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn pool_pages_has_floor() {
+        let a = BenchArgs::default();
+        assert_eq!(a.pool_pages(0), 128);
+        assert!(a.pool_pages(1 << 30) > 128);
+    }
+}

@@ -1,0 +1,97 @@
+//! Table 5 + §3 view selection: runs the GHRU97 1-greedy selection over the
+//! measured lattice sizes of the generated TPC-D data, then shows the
+//! SelectMapping allocation of the selected views onto Cubetrees.
+
+use ct_bench::report::Report;
+use ct_bench::BenchArgs;
+use ct_common::{AggFn, ViewDef};
+use ct_cube::estimate::measure_size;
+use ct_cube::{one_greedy, GreedyConfig, Lattice};
+use ct_tpcd::{TpcdConfig, TpcdWarehouse};
+use cubetree::select_mapping;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: args.seed });
+    let fact = w.generate_fact();
+    let a = w.attrs();
+    let base = vec![a.partkey, a.suppkey, a.custkey];
+    let catalog = w.catalog();
+
+    let mut report = Report::new("table5_allocation", "Table 5 + §3 selection", args.sf);
+    report.meta("fact rows", fact.len());
+
+    // Measure every lattice node's true size (the honest greedy input).
+    let mut lattice = Lattice::new(base.clone());
+    let mut total_view_tuples = 0u64;
+    for m in 0..lattice.len() {
+        let attrs = lattice.nodes[m].attrs.clone();
+        let size = measure_size(catalog, &fact, &attrs);
+        lattice.set_size(m, size);
+        total_view_tuples += size;
+    }
+    report.meta("total lattice tuples (paper: 7,110,464 at SF 1 for V)", total_view_tuples);
+
+    let s = report.section("lattice sizes", &["node", "groups"]);
+    for m in 0..lattice.len() {
+        let names: Vec<&str> =
+            lattice.nodes[m].attrs.iter().map(|&x| catalog.attr(x).name.as_str()).collect();
+        let label = if names.is_empty() { "none".to_string() } else { names.join(",") };
+        s.row(vec![label, lattice.nodes[m].size.to_string()]);
+    }
+
+    // 1-greedy selection (paper: V = {psc, ps, c, s, p, none},
+    // I = {Icsp, Ipcs, Ispc}).
+    let config = GreedyConfig { max_structures: 9, ..Default::default() };
+    let result = one_greedy(catalog, &lattice, fact.len() as u64, &config);
+    let s = report.section("1-greedy picks (paper §3)", &["#", "structure", "benefit"]);
+    for (i, (pick, benefit)) in result.picks.iter().enumerate() {
+        let label = match pick {
+            ct_cube::Structure::View { node } => {
+                let names: Vec<&str> = lattice.nodes[*node]
+                    .attrs
+                    .iter()
+                    .map(|&x| catalog.attr(x).name.as_str())
+                    .collect();
+                if names.is_empty() {
+                    "V{none}".to_string()
+                } else {
+                    format!("V{{{}}}", names.join(","))
+                }
+            }
+            ct_cube::Structure::Index { order, .. } => {
+                let names: Vec<&str> =
+                    order.iter().map(|x| catalog.attr(*x).name.as_str()).collect();
+                format!("I{{{}}}", names.join(","))
+            }
+        };
+        s.row(vec![(i + 1).to_string(), label, format!("{benefit:.0}")]);
+    }
+
+    // SelectMapping allocation of the selected views (paper Table 5).
+    let mut views: Vec<ViewDef> = result
+        .views
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| ViewDef::new(i as u32, lattice.nodes[m].attrs.clone(), AggFn::Sum))
+        .collect();
+    // Keep the paper's benefit order: top view first.
+    views.sort_by_key(|v| std::cmp::Reverse(v.arity()));
+    let plan = select_mapping(&views);
+    let s = report.section("SelectMapping allocation (Table 5)", &["Cubetree", "dims", "views"]);
+    for (t, spec) in plan.trees.iter().enumerate() {
+        let names: Vec<String> = spec
+            .views
+            .iter()
+            .map(|id| {
+                views
+                    .iter()
+                    .find(|v| v.id == *id)
+                    .map(|v| v.display_name(catalog))
+                    .unwrap_or_default()
+            })
+            .collect();
+        s.row(vec![format!("R{}", t + 1), spec.dims.to_string(), names.join(" ")]);
+    }
+    report.emit(args.json.as_deref());
+}

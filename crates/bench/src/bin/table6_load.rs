@@ -1,0 +1,77 @@
+//! Table 6 + §3.2 storage: initial load of both configurations and their
+//! disk footprints.
+//!
+//! Paper (SF 1): conventional views 10h58m + indices 51m = 11h49m total;
+//! Cubetrees 45m04s (~16:1). Storage: 602 MB conventional vs 293 MB
+//! Cubetrees (51% less).
+
+use ct_bench::report::{fmt_mb, fmt_ratio, fmt_secs, Report};
+use ct_bench::BenchArgs;
+use cubetree::engine::RolapEngine;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let engines = ct_bench::experiments::build_engines_or_die(&args);
+    let mut report = Report::new("table6_load", "Table 6 + §3.2 storage", args.sf);
+    report.meta("fact rows", engines.fact.len());
+    report.meta(
+        "buffer pool",
+        format!("{} pages", engines.conventional.env().pool().capacity()),
+    );
+
+    let bd = engines.conventional.load_breakdown();
+    let s = report.section(
+        "initial load (simulated 1998-disk seconds)",
+        &["configuration", "views", "indices", "total", "wall"],
+    );
+    s.row(vec![
+        "conventional".into(),
+        fmt_secs(bd.views_sim),
+        fmt_secs(bd.index_sim),
+        fmt_secs(engines.conv_load.sim),
+        fmt_secs(engines.conv_load.wall),
+    ]);
+    s.row(vec![
+        "cubetrees".into(),
+        fmt_secs(engines.cube_load.sim),
+        "-".into(),
+        fmt_secs(engines.cube_load.sim),
+        fmt_secs(engines.cube_load.wall),
+    ]);
+    s.row(vec![
+        "ratio (paper ~16:1)".into(),
+        String::new(),
+        String::new(),
+        fmt_ratio(engines.conv_load.sim, engines.cube_load.sim),
+        fmt_ratio(engines.conv_load.wall, engines.cube_load.wall),
+    ]);
+
+    let conv_bytes = engines.conventional.storage_bytes();
+    let cube_bytes = engines.cubetree.storage_bytes();
+    let s = report.section(
+        "storage (paper: 602MB vs 293MB, 51% less)",
+        &["configuration", "bytes", "vs conventional"],
+    );
+    s.row(vec!["conventional".into(), fmt_mb(conv_bytes), "100%".into()]);
+    s.row(vec![
+        "cubetrees".into(),
+        fmt_mb(cube_bytes),
+        format!("{:.0}%", 100.0 * cube_bytes as f64 / conv_bytes as f64),
+    ]);
+
+    // Forest shape for the record.
+    if let Some(forest) = engines.cubetree.forest() {
+        let s = report.section("cubetree forest", &["tree", "dims", "entries", "leaf pages", "height"]);
+        for (i, t) in forest.trees().iter().enumerate() {
+            let st = t.stats();
+            s.row(vec![
+                format!("R{}", i + 1),
+                t.dims().to_string(),
+                st.entries.to_string(),
+                st.leaf_pages.to_string(),
+                st.height.to_string(),
+            ]);
+        }
+    }
+    report.emit(args.json.as_deref());
+}

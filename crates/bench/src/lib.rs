@@ -1,0 +1,27 @@
+//! # ct-bench — the paper's experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§3), plus
+//! Criterion micro-benchmarks. Every binary accepts:
+//!
+//! ```text
+//! --sf <f64>        TPC-D scale factor            (default 0.01)
+//! --seed <u64>      generator seed                (default 42)
+//! --queries <usize> queries per batch/node        (default 100)
+//! --pool-frac <f64> buffer pool bytes as a fraction of the estimated view
+//!                   data size (default 0.0533 — the paper's 32 MB against
+//!                   its 602 MB conventional footprint)
+//! --json <path>     also write the report as JSON
+//! ```
+//!
+//! Results are reported in **simulated seconds** under the 1998 disk cost
+//! model (the paper's hardware; see `ct_common::cost`) alongside wall-clock
+//! on the host. Shape comparisons against the paper use the simulated
+//! metric; see DESIGN.md for the substitution argument.
+
+pub mod args;
+pub mod experiments;
+pub mod report;
+
+pub use args::BenchArgs;
+pub use experiments::{build_engines, Engines};
+pub use report::Report;

@@ -1,0 +1,20 @@
+//! # ct-btree — B+-trees over the paged storage layer
+//!
+//! The indexing half of the paper's *conventional* configuration: the
+//! straight-forward relational materialization stores each ROLAP view in a
+//! heap table and indexes it with B-trees (paper §1, §3). This crate
+//! implements a disk-resident B+-tree with:
+//!
+//! * composite fixed-arity `u64` keys (the concatenated group-by attributes,
+//!   e.g. `I{custkey,suppkey,partkey}` from the paper's selected index set);
+//! * fixed-width `u64`-word payloads (heap RIDs for secondary indexes, or
+//!   aggregate words when used as a primary structure);
+//! * point lookup, ordered range/prefix scans via leaf chaining;
+//! * one-at-a-time inserts and in-place payload updates (the operations that
+//!   make the conventional refresh path slow — paper §3.4);
+//! * sequential bulk loading from sorted input for the initial build.
+
+pub mod node;
+pub mod tree;
+
+pub use tree::BTree;

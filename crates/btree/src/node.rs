@@ -1,0 +1,359 @@
+//! On-page node layouts and their in-memory decoded forms.
+//!
+//! Structural mutations (insert, split) decode a node into a small vector
+//! form, edit it, and re-encode. A page holds at most a few hundred entries,
+//! so the copies are bounded and the logic stays obviously correct.
+//!
+//! Layouts (all little-endian):
+//!
+//! ```text
+//! meta page (page 0):
+//!   0  u32  magic
+//!   4  u16  key_len (words)      6  u16  payload_len (words)
+//!   8  u64  root page id        16  u32  height (1 = root is a leaf)
+//!   24 u64  entry count
+//!
+//! leaf page:
+//!   0  u8   tag = 1              2  u16  entry count
+//!   8  u64  next leaf page id (u64::MAX = none)
+//!   16 ..   entries: key_len + payload_len words each
+//!
+//! internal page:
+//!   0  u8   tag = 2              2  u16  entry count (= #separators)
+//!   16 u64  child[0]
+//!   24 ..   entries: separator key (key_len words) + child page id
+//! ```
+
+use ct_common::{CtError, Result};
+use ct_storage::{Page, PAGE_SIZE};
+
+/// Magic number identifying a B+-tree meta page.
+pub const MAGIC: u32 = 0x4254_5245; // "BTRE"
+/// Leaf node tag.
+pub const TAG_LEAF: u8 = 1;
+/// Internal node tag.
+pub const TAG_INTERNAL: u8 = 2;
+/// Byte size of the node header.
+pub const HEADER: usize = 16;
+/// "No next leaf" sentinel.
+pub const NO_LEAF: u64 = u64::MAX;
+
+/// Maximum leaf entries for a key/payload geometry.
+pub fn leaf_capacity(key_len: usize, pay_len: usize) -> usize {
+    (PAGE_SIZE - HEADER) / ((key_len + pay_len) * 8)
+}
+
+/// Maximum separators for an internal node of a key geometry.
+pub fn internal_capacity(key_len: usize) -> usize {
+    (PAGE_SIZE - HEADER - 8) / ((key_len + 1) * 8)
+}
+
+/// Decoded leaf node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafNode {
+    /// Flattened keys, `key_len` words per entry, sorted ascending.
+    pub keys: Vec<u64>,
+    /// Flattened payloads, `pay_len` words per entry.
+    pub pays: Vec<u64>,
+    /// Right-sibling page id or [`NO_LEAF`].
+    pub next: u64,
+}
+
+impl LeafNode {
+    /// An empty leaf.
+    pub fn new() -> Self {
+        LeafNode { keys: Vec::new(), pays: Vec::new(), next: NO_LEAF }
+    }
+
+    /// Number of entries.
+    pub fn len(&self, key_len: usize) -> usize {
+        self.keys.len() / key_len.max(1)
+    }
+
+    /// True if the leaf holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Key of entry `i`.
+    pub fn key(&self, i: usize, key_len: usize) -> &[u64] {
+        &self.keys[i * key_len..(i + 1) * key_len]
+    }
+
+    /// Payload of entry `i`.
+    pub fn pay(&self, i: usize, pay_len: usize) -> &[u64] {
+        &self.pays[i * pay_len..(i + 1) * pay_len]
+    }
+
+    /// Binary search for `key`; `Ok(i)` if present, `Err(i)` = insert slot.
+    pub fn search(&self, key: &[u64], key_len: usize) -> std::result::Result<usize, usize> {
+        let n = self.len(key_len);
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.key(mid, key_len).cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Inserts an entry at slot `i`.
+    pub fn insert_at(&mut self, i: usize, key: &[u64], pay: &[u64], key_len: usize, pay_len: usize) {
+        let kpos = i * key_len;
+        let ppos = i * pay_len;
+        self.keys.splice(kpos..kpos, key.iter().copied());
+        self.pays.splice(ppos..ppos, pay.iter().copied());
+    }
+
+    /// Splits off the upper half into a new right leaf; returns it and the
+    /// separator (the right leaf's first key).
+    pub fn split(&mut self, key_len: usize, pay_len: usize) -> (LeafNode, Vec<u64>) {
+        let n = self.len(key_len);
+        let mid = n / 2;
+        let right = LeafNode {
+            keys: self.keys.split_off(mid * key_len),
+            pays: self.pays.split_off(mid * pay_len),
+            next: self.next,
+        };
+        let sep = right.key(0, key_len).to_vec();
+        (right, sep)
+    }
+
+    /// Decodes a leaf from a page.
+    pub fn read(page: &Page, key_len: usize, pay_len: usize) -> Result<Self> {
+        if page.bytes()[0] != TAG_LEAF {
+            return Err(CtError::corrupt("expected leaf node"));
+        }
+        let n = page.get_u16(2) as usize;
+        let next = page.get_u64(8);
+        let mut keys = vec![0u64; n * key_len];
+        let mut pays = vec![0u64; n * pay_len];
+        let stride = (key_len + pay_len) * 8;
+        for i in 0..n {
+            let off = HEADER + i * stride;
+            page.get_u64s(off, &mut keys[i * key_len..(i + 1) * key_len]);
+            page.get_u64s(off + key_len * 8, &mut pays[i * pay_len..(i + 1) * pay_len]);
+        }
+        Ok(LeafNode { keys, pays, next })
+    }
+
+    /// Encodes the leaf into a page.
+    pub fn write(&self, page: &mut Page, key_len: usize, pay_len: usize) {
+        page.clear();
+        page.bytes_mut()[0] = TAG_LEAF;
+        let n = self.len(key_len);
+        page.put_u16(2, n as u16);
+        page.put_u64(8, self.next);
+        let stride = (key_len + pay_len) * 8;
+        for i in 0..n {
+            let off = HEADER + i * stride;
+            page.put_u64s(off, self.key(i, key_len));
+            page.put_u64s(off + key_len * 8, self.pay(i, pay_len));
+        }
+    }
+}
+
+impl Default for LeafNode {
+    fn default() -> Self {
+        LeafNode::new()
+    }
+}
+
+/// Decoded internal node: `children.len() == seps.len()/key_len + 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternalNode {
+    /// Flattened separator keys; keys `>= seps[i]` route right of child `i`.
+    pub seps: Vec<u64>,
+    /// Child page ids.
+    pub children: Vec<u64>,
+}
+
+impl InternalNode {
+    /// A node with a single child and no separators.
+    pub fn new(first_child: u64) -> Self {
+        InternalNode { seps: Vec::new(), children: vec![first_child] }
+    }
+
+    /// Number of separators.
+    pub fn len(&self, key_len: usize) -> usize {
+        self.seps.len() / key_len.max(1)
+    }
+
+    /// Separator `i`.
+    pub fn sep(&self, i: usize, key_len: usize) -> &[u64] {
+        &self.seps[i * key_len..(i + 1) * key_len]
+    }
+
+    /// Index of the child to follow for `key`: the number of separators
+    /// `<= key`.
+    pub fn route(&self, key: &[u64], key_len: usize) -> usize {
+        let n = self.len(key_len);
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.sep(mid, key_len) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Inserts separator/child after routing slot `i` (the result of a child
+    /// split at position `i`).
+    pub fn insert_at(&mut self, i: usize, sep: &[u64], child: u64, key_len: usize) {
+        let spos = i * key_len;
+        self.seps.splice(spos..spos, sep.iter().copied());
+        self.children.insert(i + 1, child);
+    }
+
+    /// Splits the node: upper half moves to a new right node; the middle
+    /// separator is *promoted* (returned, not kept in either node).
+    pub fn split(&mut self, key_len: usize) -> (InternalNode, Vec<u64>) {
+        let n = self.len(key_len);
+        let mid = n / 2;
+        let promoted = self.sep(mid, key_len).to_vec();
+        let right = InternalNode {
+            seps: self.seps.split_off((mid + 1) * key_len),
+            children: self.children.split_off(mid + 1),
+        };
+        self.seps.truncate(mid * key_len);
+        (right, promoted)
+    }
+
+    /// Decodes an internal node from a page.
+    pub fn read(page: &Page, key_len: usize) -> Result<Self> {
+        if page.bytes()[0] != TAG_INTERNAL {
+            return Err(CtError::corrupt("expected internal node"));
+        }
+        let n = page.get_u16(2) as usize;
+        let mut children = Vec::with_capacity(n + 1);
+        children.push(page.get_u64(HEADER));
+        let mut seps = vec![0u64; n * key_len];
+        let stride = (key_len + 1) * 8;
+        for i in 0..n {
+            let off = HEADER + 8 + i * stride;
+            page.get_u64s(off, &mut seps[i * key_len..(i + 1) * key_len]);
+            children.push(page.get_u64(off + key_len * 8));
+        }
+        Ok(InternalNode { seps, children })
+    }
+
+    /// Encodes the internal node into a page.
+    pub fn write(&self, page: &mut Page, key_len: usize) {
+        page.clear();
+        page.bytes_mut()[0] = TAG_INTERNAL;
+        let n = self.len(key_len);
+        page.put_u16(2, n as u16);
+        page.put_u64(HEADER, self.children[0]);
+        let stride = (key_len + 1) * 8;
+        for i in 0..n {
+            let off = HEADER + 8 + i * stride;
+            page.put_u64s(off, self.sep(i, key_len));
+            page.put_u64(off + key_len * 8, self.children[i + 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_are_sane() {
+        // key of 3 words + RID payload of 1 word = 32 bytes per entry.
+        assert_eq!(leaf_capacity(3, 1), (8192 - 16) / 32);
+        assert!(internal_capacity(1) > 200);
+        assert!(leaf_capacity(1, 1) > 400);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut leaf = LeafNode::new();
+        leaf.next = 77;
+        for i in 0..10u64 {
+            let n = leaf.len(2);
+            leaf.insert_at(n, &[i, i * 2], &[i * 100], 2, 1);
+        }
+        let mut page = Page::zeroed();
+        leaf.write(&mut page, 2, 1);
+        let back = LeafNode::read(&page, 2, 1).unwrap();
+        assert_eq!(back, leaf);
+        assert_eq!(back.next, 77);
+        assert_eq!(back.key(3, 2), &[3, 6]);
+        assert_eq!(back.pay(3, 1), &[300]);
+    }
+
+    #[test]
+    fn leaf_search_and_insert_keep_order() {
+        let mut leaf = LeafNode::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            let slot = leaf.search(&[k], 1).unwrap_err();
+            leaf.insert_at(slot, &[k], &[k * 10], 1, 1);
+        }
+        let keys: Vec<u64> = (0..5).map(|i| leaf.key(i, 1)[0]).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert_eq!(leaf.search(&[7], 1), Ok(3));
+        assert_eq!(leaf.search(&[4], 1), Err(2));
+    }
+
+    #[test]
+    fn leaf_split_halves() {
+        let mut leaf = LeafNode::new();
+        leaf.next = 42;
+        for i in 0..10u64 {
+            leaf.insert_at(i as usize, &[i], &[i], 1, 1);
+        }
+        let (right, sep) = leaf.split(1, 1);
+        assert_eq!(leaf.len(1), 5);
+        assert_eq!(right.len(1), 5);
+        assert_eq!(sep, vec![5]);
+        assert_eq!(right.next, 42);
+        assert_eq!(right.key(0, 1), &[5]);
+    }
+
+    #[test]
+    fn internal_roundtrip_and_route() {
+        let mut node = InternalNode::new(100);
+        node.insert_at(0, &[10, 0], 101, 2);
+        node.insert_at(1, &[20, 5], 102, 2);
+        let mut page = Page::zeroed();
+        node.write(&mut page, 2);
+        let back = InternalNode::read(&page, 2).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(back.route(&[5, 0], 2), 0);
+        assert_eq!(back.route(&[10, 0], 2), 1, "equal keys route right");
+        assert_eq!(back.route(&[15, 0], 2), 1);
+        assert_eq!(back.route(&[20, 5], 2), 2);
+        assert_eq!(back.route(&[99, 9], 2), 2);
+    }
+
+    #[test]
+    fn internal_split_promotes_middle() {
+        let mut node = InternalNode::new(0);
+        for i in 0..5u64 {
+            let n = node.len(1);
+            node.insert_at(n, &[(i + 1) * 10], i + 1, 1);
+        }
+        // seps: 10,20,30,40,50; children: 0..=5
+        let (right, promoted) = node.split(1);
+        assert_eq!(promoted, vec![30]);
+        assert_eq!(node.len(1), 2); // 10, 20
+        assert_eq!(node.children, vec![0, 1, 2]);
+        assert_eq!(right.len(1), 2); // 40, 50
+        assert_eq!(right.children, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn wrong_tag_is_corrupt() {
+        let page = Page::zeroed();
+        assert!(LeafNode::read(&page, 1, 1).is_err());
+        assert!(InternalNode::read(&page, 1).is_err());
+    }
+}

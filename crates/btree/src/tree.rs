@@ -1,0 +1,588 @@
+//! The disk-resident B+-tree.
+
+use crate::node::{
+    internal_capacity, leaf_capacity, InternalNode, LeafNode, MAGIC, NO_LEAF, TAG_LEAF,
+};
+use ct_common::{CtError, Result};
+use ct_storage::{BufferPool, FileId, PageId};
+use std::sync::Arc;
+
+/// A B+-tree over one page file.
+///
+/// Keys are `key_len` `u64` words compared lexicographically; payloads are
+/// `pay_len` words. Keys are unique — [`BTree::upsert`] merges on conflict.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    fid: FileId,
+    key_len: usize,
+    pay_len: usize,
+    root: u64,
+    height: u32,
+    entries: u64,
+    leaf_cap: usize,
+    int_cap: usize,
+}
+
+const META_PAGE: PageId = PageId(0);
+
+impl BTree {
+    /// Creates an empty tree in a fresh file.
+    pub fn create(pool: Arc<BufferPool>, fid: FileId, key_len: usize, pay_len: usize) -> Result<Self> {
+        assert!(key_len >= 1 && pay_len >= 1, "key and payload must be non-empty");
+        let leaf_cap = leaf_capacity(key_len, pay_len);
+        let int_cap = internal_capacity(key_len);
+        assert!(leaf_cap >= 2 && int_cap >= 2, "geometry too large for a page");
+        let meta = pool.new_page(fid)?;
+        debug_assert_eq!(meta, META_PAGE);
+        let root = pool.new_page(fid)?;
+        pool.with_page_mut(fid, root, |p| LeafNode::new().write(p, key_len, pay_len))?;
+        let mut t = BTree {
+            pool,
+            fid,
+            key_len,
+            pay_len,
+            root: root.0,
+            height: 1,
+            entries: 0,
+            leaf_cap,
+            int_cap,
+        };
+        t.write_meta()?;
+        Ok(t)
+    }
+
+    /// Opens an existing tree from its file.
+    pub fn open(pool: Arc<BufferPool>, fid: FileId) -> Result<Self> {
+        let (key_len, pay_len, root, height, entries) =
+            pool.with_page(fid, META_PAGE, |p| {
+                (
+                    p.get_u16(4) as usize,
+                    p.get_u16(6) as usize,
+                    p.get_u64(8),
+                    p.get_u32(16),
+                    p.get_u64(24),
+                )
+            })?;
+        let magic = pool.with_page(fid, META_PAGE, |p| p.get_u32(0))?;
+        if magic != MAGIC {
+            return Err(CtError::corrupt("not a B+-tree file"));
+        }
+        Ok(BTree {
+            pool,
+            fid,
+            key_len,
+            pay_len,
+            root,
+            height,
+            entries,
+            leaf_cap: leaf_capacity(key_len, pay_len),
+            int_cap: internal_capacity(key_len),
+        })
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        self.pool.with_page_mut(self.fid, META_PAGE, |p| {
+            p.put_u32(0, MAGIC);
+            p.put_u16(4, self.key_len as u16);
+            p.put_u16(6, self.pay_len as u16);
+            p.put_u64(8, self.root);
+            p.put_u32(16, self.height);
+            p.put_u64(24, self.entries);
+        })
+    }
+
+    /// Persists the meta page (entry count, root) — call after batches.
+    pub fn flush_meta(&mut self) -> Result<()> {
+        self.write_meta()
+    }
+
+    /// Key arity in words.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Payload width in words.
+    pub fn pay_len(&self) -> usize {
+        self.pay_len
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The file backing this tree.
+    pub fn file_id(&self) -> FileId {
+        self.fid
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u64]) -> Result<Option<Vec<u64>>> {
+        debug_assert_eq!(key.len(), self.key_len);
+        let leaf_pid = self.descend(key)?;
+        let leaf = self.read_leaf(leaf_pid)?;
+        Ok(match leaf.search(key, self.key_len) {
+            Ok(i) => Some(leaf.pay(i, self.pay_len).to_vec()),
+            Err(_) => None,
+        })
+    }
+
+    /// Inserts `key → pay`; if the key exists, `merge(existing, new)` updates
+    /// the stored payload in place. Returns `true` if a new entry was added.
+    pub fn upsert(
+        &mut self,
+        key: &[u64],
+        pay: &[u64],
+        merge: impl FnOnce(&mut [u64], &[u64]),
+    ) -> Result<bool> {
+        debug_assert_eq!(key.len(), self.key_len);
+        debug_assert_eq!(pay.len(), self.pay_len);
+        let split = self.insert_rec(PageId(self.root), self.height, key, pay, &mut Some(merge))?;
+        match split {
+            InsertOutcome::Updated => Ok(false),
+            InsertOutcome::Inserted => {
+                self.entries += 1;
+                Ok(true)
+            }
+            InsertOutcome::Split(sep, right) => {
+                // Grow a new root.
+                let new_root = self.pool.new_page(self.fid)?;
+                let mut node = InternalNode::new(self.root);
+                node.insert_at(0, &sep, right, self.key_len);
+                let key_len = self.key_len;
+                self.pool.with_page_mut(self.fid, new_root, |p| node.write(p, key_len))?;
+                self.root = new_root.0;
+                self.height += 1;
+                self.entries += 1;
+                self.write_meta()?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Plain insert; replaces the payload if the key exists.
+    pub fn insert(&mut self, key: &[u64], pay: &[u64]) -> Result<bool> {
+        self.upsert(key, pay, |old, new| old.copy_from_slice(new))
+    }
+
+    /// Inclusive range scan: calls `f(key, payload)` for every entry with
+    /// `lo <= key <= hi`; `f` returns `false` to stop early.
+    pub fn scan_range(
+        &self,
+        lo: &[u64],
+        hi: &[u64],
+        mut f: impl FnMut(&[u64], &[u64]) -> bool,
+    ) -> Result<()> {
+        debug_assert_eq!(lo.len(), self.key_len);
+        debug_assert_eq!(hi.len(), self.key_len);
+        let mut pid = self.descend(lo)?;
+        loop {
+            let leaf = self.read_leaf(pid)?;
+            let n = leaf.len(self.key_len);
+            let start = match leaf.search(lo, self.key_len) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            for i in start..n {
+                let k = leaf.key(i, self.key_len);
+                if k > hi {
+                    return Ok(());
+                }
+                if !f(k, leaf.pay(i, self.pay_len)) {
+                    return Ok(());
+                }
+            }
+            if leaf.next == NO_LEAF {
+                return Ok(());
+            }
+            pid = PageId(leaf.next);
+        }
+    }
+
+    /// Prefix scan: every entry whose first `prefix.len()` key words equal
+    /// `prefix`.
+    pub fn scan_prefix(
+        &self,
+        prefix: &[u64],
+        f: impl FnMut(&[u64], &[u64]) -> bool,
+    ) -> Result<()> {
+        assert!(prefix.len() <= self.key_len, "prefix longer than key");
+        let mut lo = vec![0u64; self.key_len];
+        let mut hi = vec![u64::MAX; self.key_len];
+        lo[..prefix.len()].copy_from_slice(prefix);
+        hi[..prefix.len()].copy_from_slice(prefix);
+        self.scan_range(&lo, &hi, f)
+    }
+
+    /// Full ordered scan.
+    pub fn scan_all(&self, f: impl FnMut(&[u64], &[u64]) -> bool) -> Result<()> {
+        let lo = vec![0u64; self.key_len];
+        let hi = vec![u64::MAX; self.key_len];
+        self.scan_range(&lo, &hi, f)
+    }
+
+    /// Bulk-loads a tree from key-sorted `(key, payload)` pairs. Leaves are
+    /// filled to capacity and written strictly sequentially (this is how the
+    /// conventional configuration builds its indexes after view
+    /// materialization, paper §3.2).
+    ///
+    /// # Errors
+    /// Returns [`CtError::InvalidArgument`] if the input is not strictly
+    /// ascending by key.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        fid: FileId,
+        key_len: usize,
+        pay_len: usize,
+        mut next: impl FnMut() -> Result<Option<(Vec<u64>, Vec<u64>)>>,
+    ) -> Result<Self> {
+        let mut tree = BTree::create(pool, fid, key_len, pay_len)?;
+        // Level 0: stream into full leaves.
+        let mut leaf = LeafNode::new();
+        let mut leaf_pids: Vec<u64> = vec![tree.root];
+        // (min_key, pid) for level construction; the first leaf reuses the
+        // root page allocated by create() and is replaced below if we grow.
+        let mut level: Vec<(Vec<u64>, u64)> = Vec::new();
+        let mut prev_key: Option<Vec<u64>> = None;
+        let mut count = 0u64;
+        let mut first_key_of_leaf: Option<Vec<u64>> = None;
+        while let Some((key, pay)) = next()? {
+            if key.len() != key_len || pay.len() != pay_len {
+                return Err(CtError::invalid("bulk_load record geometry mismatch"));
+            }
+            if let Some(prev) = &prev_key {
+                if prev.as_slice() >= key.as_slice() {
+                    return Err(CtError::invalid("bulk_load input not strictly ascending"));
+                }
+            }
+            if leaf.len(key_len) == tree.leaf_cap {
+                // Seal current leaf, chain to a fresh one.
+                let new_pid = tree.pool.new_page(fid)?;
+                leaf.next = new_pid.0;
+                let pid = *leaf_pids.last().unwrap();
+                tree.pool.with_page_mut(fid, PageId(pid), |p| leaf.write(p, key_len, pay_len))?;
+                level.push((first_key_of_leaf.take().unwrap(), pid));
+                leaf = LeafNode::new();
+                leaf_pids.push(new_pid.0);
+            }
+            if leaf.is_empty() {
+                first_key_of_leaf = Some(key.clone());
+            }
+            let n = leaf.len(key_len);
+            leaf.insert_at(n, &key, &pay, key_len, pay_len);
+            prev_key = Some(key);
+            count += 1;
+        }
+        // Seal the trailing leaf.
+        let pid = *leaf_pids.last().unwrap();
+        tree.pool.with_page_mut(fid, PageId(pid), |p| leaf.write(p, key_len, pay_len))?;
+        if let Some(fk) = first_key_of_leaf.take() {
+            level.push((fk, pid));
+        } else if level.is_empty() {
+            // Entirely empty input: root stays the empty leaf.
+            tree.entries = 0;
+            tree.write_meta()?;
+            return Ok(tree);
+        }
+        // Build internal levels bottom-up.
+        let mut height = 1u32;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level: Vec<(Vec<u64>, u64)> = Vec::new();
+            for chunk in level.chunks(tree.int_cap + 1) {
+                let mut node = InternalNode::new(chunk[0].1);
+                for (i, (min_key, child)) in chunk.iter().enumerate().skip(1) {
+                    node.insert_at(i - 1, min_key, *child, key_len);
+                }
+                let pid = tree.pool.new_page(fid)?;
+                tree.pool.with_page_mut(fid, pid, |p| node.write(p, key_len))?;
+                next_level.push((chunk[0].0.clone(), pid.0));
+            }
+            level = next_level;
+        }
+        tree.root = level[0].1;
+        tree.height = height;
+        tree.entries = count;
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Walks from the root to the leaf that owns `key`.
+    fn descend(&self, key: &[u64]) -> Result<PageId> {
+        let mut pid = PageId(self.root);
+        for _ in 1..self.height {
+            let node = self.read_internal(pid)?;
+            let slot = node.route(key, self.key_len);
+            pid = PageId(node.children[slot]);
+        }
+        Ok(pid)
+    }
+
+    fn read_leaf(&self, pid: PageId) -> Result<LeafNode> {
+        self.pool
+            .with_page(self.fid, pid, |p| LeafNode::read(p, self.key_len, self.pay_len))?
+    }
+
+    fn read_internal(&self, pid: PageId) -> Result<InternalNode> {
+        self.pool.with_page(self.fid, pid, |p| InternalNode::read(p, self.key_len))?
+    }
+
+    fn insert_rec(
+        &mut self,
+        pid: PageId,
+        level: u32,
+        key: &[u64],
+        pay: &[u64],
+        merge: &mut Option<impl FnOnce(&mut [u64], &[u64])>,
+    ) -> Result<InsertOutcome> {
+        let is_leaf = self.pool.with_page(self.fid, pid, |p| p.bytes()[0] == TAG_LEAF)?;
+        if is_leaf {
+            debug_assert_eq!(level, 1, "leaf found above level 1");
+            let mut leaf = self.read_leaf(pid)?;
+            match leaf.search(key, self.key_len) {
+                Ok(i) => {
+                    let pay_len = self.pay_len;
+                    let slot = &mut leaf.pays[i * pay_len..(i + 1) * pay_len];
+                    (merge.take().expect("merge consumed twice"))(slot, pay);
+                    self.write_leaf(pid, &leaf)?;
+                    Ok(InsertOutcome::Updated)
+                }
+                Err(slot) => {
+                    leaf.insert_at(slot, key, pay, self.key_len, self.pay_len);
+                    if leaf.len(self.key_len) > self.leaf_cap {
+                        let (mut right, sep) = leaf.split(self.key_len, self.pay_len);
+                        let right_pid = self.pool.new_page(self.fid)?;
+                        std::mem::swap(&mut leaf.next, &mut right.next);
+                        leaf.next = right_pid.0;
+                        self.write_leaf(right_pid, &right)?;
+                        self.write_leaf(pid, &leaf)?;
+                        Ok(InsertOutcome::Split(sep, right_pid.0))
+                    } else {
+                        self.write_leaf(pid, &leaf)?;
+                        Ok(InsertOutcome::Inserted)
+                    }
+                }
+            }
+        } else {
+            let mut node = self.read_internal(pid)?;
+            let slot = node.route(key, self.key_len);
+            let child = PageId(node.children[slot]);
+            match self.insert_rec(child, level - 1, key, pay, merge)? {
+                InsertOutcome::Split(sep, new_child) => {
+                    node.insert_at(slot, &sep, new_child, self.key_len);
+                    if node.len(self.key_len) > self.int_cap {
+                        let (right, promoted) = node.split(self.key_len);
+                        let right_pid = self.pool.new_page(self.fid)?;
+                        self.write_internal(right_pid, &right)?;
+                        self.write_internal(pid, &node)?;
+                        Ok(InsertOutcome::Split(promoted, right_pid.0))
+                    } else {
+                        self.write_internal(pid, &node)?;
+                        Ok(InsertOutcome::Inserted)
+                    }
+                }
+                other => Ok(other),
+            }
+        }
+    }
+
+    fn write_leaf(&self, pid: PageId, leaf: &LeafNode) -> Result<()> {
+        let (k, p) = (self.key_len, self.pay_len);
+        self.pool.with_page_mut(self.fid, pid, |page| leaf.write(page, k, p))
+    }
+
+    fn write_internal(&self, pid: PageId, node: &InternalNode) -> Result<()> {
+        let k = self.key_len;
+        self.pool.with_page_mut(self.fid, pid, |page| node.write(page, k))
+    }
+}
+
+enum InsertOutcome {
+    /// Existing key's payload was merged.
+    Updated,
+    /// New key inserted, no structural change above.
+    Inserted,
+    /// Child split: (separator, new right child page).
+    Split(Vec<u64>, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_storage::StorageEnv;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    fn tree(key_len: usize, pay_len: usize) -> (StorageEnv, BTree) {
+        let env = StorageEnv::new("btree-test").unwrap();
+        let fid = env.create_file("tree").unwrap();
+        let t = BTree::create(env.pool().clone(), fid, key_len, pay_len).unwrap();
+        (env, t)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (_env, mut t) = tree(2, 1);
+        assert!(t.is_empty());
+        assert!(t.insert(&[1, 2], &[12]).unwrap());
+        assert!(t.insert(&[2, 1], &[21]).unwrap());
+        assert!(!t.insert(&[1, 2], &[99]).unwrap(), "replace is not a new entry");
+        assert_eq!(t.get(&[1, 2]).unwrap(), Some(vec![99]));
+        assert_eq!(t.get(&[2, 1]).unwrap(), Some(vec![21]));
+        assert_eq!(t.get(&[9, 9]).unwrap(), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn random_inserts_scale_past_many_splits() {
+        let (_env, mut t) = tree(1, 1);
+        let mut keys: Vec<u64> = (0..20_000u64).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(7));
+        for &k in &keys {
+            t.insert(&[k], &[k * 3]).unwrap();
+        }
+        assert_eq!(t.len(), 20_000);
+        assert!(t.height() >= 2, "splits must have happened");
+        for &k in keys.iter().step_by(997) {
+            assert_eq!(t.get(&[k]).unwrap(), Some(vec![k * 3]));
+        }
+        // Full scan must be ordered and complete.
+        let mut seen = 0u64;
+        let mut prev: Option<u64> = None;
+        t.scan_all(|k, p| {
+            if let Some(pv) = prev {
+                assert!(k[0] > pv);
+            }
+            assert_eq!(p[0], k[0] * 3);
+            prev = Some(k[0]);
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, 20_000);
+    }
+
+    #[test]
+    fn upsert_merges_in_place() {
+        let (_env, mut t) = tree(1, 1);
+        t.insert(&[5], &[10]).unwrap();
+        let added =
+            t.upsert(&[5], &[7], |old, new| old[0] = old[0].wrapping_add(new[0])).unwrap();
+        assert!(!added);
+        assert_eq!(t.get(&[5]).unwrap(), Some(vec![17]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn range_and_prefix_scans() {
+        let (_env, mut t) = tree(2, 1);
+        for a in 1..=5u64 {
+            for b in 1..=5u64 {
+                t.insert(&[a, b], &[a * 10 + b]).unwrap();
+            }
+        }
+        let mut got = Vec::new();
+        t.scan_range(&[2, 3], &[3, 2], |k, _| {
+            got.push((k[0], k[1]));
+            true
+        })
+        .unwrap();
+        assert_eq!(got, vec![(2, 3), (2, 4), (2, 5), (3, 1), (3, 2)]);
+
+        let mut pref = Vec::new();
+        t.scan_prefix(&[4], |k, p| {
+            pref.push((k[1], p[0]));
+            true
+        })
+        .unwrap();
+        assert_eq!(pref, vec![(1, 41), (2, 42), (3, 43), (4, 44), (5, 45)]);
+
+        // Early stop.
+        let mut n = 0;
+        t.scan_all(|_, _| {
+            n += 1;
+            n < 3
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let env = StorageEnv::new("btree-bulk").unwrap();
+        let n = 10_000u64;
+        let fid = env.create_file("bulk").unwrap();
+        let mut i = 0u64;
+        let t = BTree::bulk_load(env.pool().clone(), fid, 1, 2, || {
+            if i < n {
+                let k = i * 2; // even keys
+                i += 1;
+                Ok(Some((vec![k], vec![k + 1, k + 2])))
+            } else {
+                Ok(None)
+            }
+        })
+        .unwrap();
+        assert_eq!(t.len(), n);
+        assert!(t.height() >= 2);
+        assert_eq!(t.get(&[1234]).unwrap(), Some(vec![1235, 1236]));
+        assert_eq!(t.get(&[1235]).unwrap(), None);
+        let mut count = 0u64;
+        t.scan_all(|k, p| {
+            assert_eq!(k[0] % 2, 0);
+            assert_eq!(p[0], k[0] + 1);
+            count += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_reopen() {
+        let env = StorageEnv::new("btree-empty").unwrap();
+        let fid = env.create_file("empty").unwrap();
+        let t = BTree::bulk_load(env.pool().clone(), fid, 3, 1, || Ok(None)).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&[1, 2, 3]).unwrap(), None);
+        drop(t);
+        let t2 = BTree::open(env.pool().clone(), fid).unwrap();
+        assert_eq!(t2.key_len(), 3);
+        assert_eq!(t2.pay_len(), 1);
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let env = StorageEnv::new("btree-unsorted").unwrap();
+        let fid = env.create_file("bad").unwrap();
+        let mut items = vec![(vec![2u64], vec![0u64]), (vec![1], vec![0])].into_iter();
+        let r = BTree::bulk_load(env.pool().clone(), fid, 1, 1, || Ok(items.next()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let env = StorageEnv::new("btree-reopen").unwrap();
+        let fid = env.create_file("t").unwrap();
+        let mut t = BTree::create(env.pool().clone(), fid, 2, 1).unwrap();
+        for i in 0..500u64 {
+            t.insert(&[i, i + 1], &[i * 7]).unwrap();
+        }
+        t.flush_meta().unwrap();
+        drop(t);
+        let t2 = BTree::open(env.pool().clone(), fid).unwrap();
+        assert_eq!(t2.len(), 500);
+        assert_eq!(t2.get(&[123, 124]).unwrap(), Some(vec![861]));
+    }
+}

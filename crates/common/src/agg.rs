@@ -1,0 +1,369 @@
+//! Aggregate functions and mergeable aggregate states.
+//!
+//! Every materialized ROLAP view carries one aggregate per group (the paper's
+//! experiments use `sum(quantity)`; §2.2 footnote 3 notes the scheme extends
+//! to multiple functions per point). [`AggState`] is a *mergeable* running
+//! state so that:
+//!
+//! * cube computation can aggregate a view from a **parent** view rather than
+//!   the fact table (paper Figure 10 — e.g. the COUNT of a coarser group is
+//!   the *sum* of the finer groups' counts), and
+//! * the merge-pack bulk-incremental update (paper Figure 15) can combine an
+//!   existing point with its delta in O(1).
+
+use crate::error::{CtError, Result};
+
+/// The aggregate function a view materializes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggFn {
+    /// `count(*)`
+    Count,
+    /// `sum(measure)` — the paper's representative aggregate (§3 footnote 4).
+    Sum,
+    /// `min(measure)`
+    Min,
+    /// `max(measure)`
+    Max,
+    /// `avg(measure)`, maintained as (sum, count) so it stays mergeable.
+    Avg,
+    /// `sum(measure)` maintained **with a reference count** so the view can
+    /// absorb deletions (\[GL95\]-style counting maintenance). Costs one extra
+    /// word per group on disk compared with [`AggFn::Sum`]; finalizes to the
+    /// sum.
+    SumCount,
+}
+
+impl AggFn {
+    /// Number of 64-bit words this function's state occupies on disk.
+    #[inline]
+    pub const fn width(self) -> usize {
+        match self {
+            AggFn::Avg | AggFn::SumCount => 2,
+            _ => 1,
+        }
+    }
+
+    /// True if a view materialized with this function can absorb retraction
+    /// (deletion) deltas: the stored state must carry a faithful group count
+    /// so annihilated groups can be recognized. SUM/MIN/MAX at rest cannot
+    /// (and MIN/MAX could not recompute the extremum even with one).
+    pub const fn deletion_safe(self) -> bool {
+        matches!(self, AggFn::Count | AggFn::Avg | AggFn::SumCount)
+    }
+
+    /// Stable numeric tag used by on-disk headers.
+    pub const fn tag(self) -> u8 {
+        match self {
+            AggFn::Count => 0,
+            AggFn::Sum => 1,
+            AggFn::Min => 2,
+            AggFn::Max => 3,
+            AggFn::Avg => 4,
+            AggFn::SumCount => 5,
+        }
+    }
+
+    /// Inverse of [`AggFn::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => AggFn::Count,
+            1 => AggFn::Sum,
+            2 => AggFn::Min,
+            3 => AggFn::Max,
+            4 => AggFn::Avg,
+            5 => AggFn::SumCount,
+            other => return Err(CtError::corrupt(format!("unknown aggregate tag {other}"))),
+        })
+    }
+
+    /// SQL-ish display name, used by examples and bench reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AggFn::Count => "count(*)",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Avg => "avg",
+            AggFn::SumCount => "sum+count",
+        }
+    }
+}
+
+/// A mergeable aggregate state.
+///
+/// All four statistics are maintained in memory; only the words required by
+/// the view's [`AggFn`] are written to disk ([`AggState::encode`]). That keeps
+/// leaf entries at 8 bytes for SUM/COUNT/MIN/MAX and 16 bytes for AVG.
+///
+/// The count is *signed* so that deletions can flow through the same merge
+/// machinery as insertions ([GMS93, GL95]-style counting maintenance): a
+/// retraction carries `count = -1` and a negated sum, and a group whose
+/// count reaches zero has been annihilated. MIN/MAX are **not** maintainable
+/// under deletion (the deleted row may have been the extremum), so engines
+/// reject retraction deltas against MIN/MAX views.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AggState {
+    /// Sum of measures.
+    pub sum: i64,
+    /// Number of contributing fact rows.
+    pub count: i64,
+    /// Minimum measure seen.
+    pub min: i64,
+    /// Maximum measure seen.
+    pub max: i64,
+}
+
+impl AggState {
+    /// State for a single fact row with the given measure.
+    #[inline]
+    pub fn from_measure(measure: i64) -> Self {
+        AggState { sum: measure, count: 1, min: measure, max: measure }
+    }
+
+    /// The retraction of a fact row with the given measure: merging it with
+    /// the row's insertion yields a zero-count (annihilated) state. The
+    /// extremum fields stay neutral — MIN/MAX cannot absorb deletions.
+    #[inline]
+    pub fn retraction(measure: i64) -> Self {
+        AggState { sum: -measure, count: -1, min: i64::MAX, max: i64::MIN }
+    }
+
+    /// True if the state's group has been fully annihilated by retractions.
+    #[inline]
+    pub fn is_annihilated(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The additive/extremal identity — merging it changes nothing.
+    pub fn identity() -> Self {
+        AggState { sum: 0, count: 0, min: i64::MAX, max: i64::MIN }
+    }
+
+    /// Combines another state into this one. Associative and commutative,
+    /// which is what lets views be computed from any parent in the lattice.
+    #[inline]
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Final answer of the aggregate under function `f`, as an `f64`
+    /// (AVG is fractional; the others are exact integers).
+    pub fn finalize(&self, f: AggFn) -> f64 {
+        match f {
+            AggFn::Count => self.count as f64,
+            AggFn::Sum | AggFn::SumCount => self.sum as f64,
+            AggFn::Min => self.min as f64,
+            AggFn::Max => self.max as f64,
+            AggFn::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum as f64 / self.count as f64
+                }
+            }
+        }
+    }
+
+    /// Exact integer answer for the non-AVG functions.
+    pub fn finalize_int(&self, f: AggFn) -> i64 {
+        match f {
+            AggFn::Count => self.count,
+            AggFn::Sum | AggFn::SumCount => self.sum,
+            AggFn::Min => self.min,
+            AggFn::Max => self.max,
+            AggFn::Avg => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.sum / self.count as i64
+                }
+            }
+        }
+    }
+
+    /// Serializes the words function `f` needs (see [`AggFn::width`]).
+    pub fn encode(&self, f: AggFn, out: &mut Vec<u64>) {
+        match f {
+            AggFn::Count => out.push(self.count as u64),
+            AggFn::Sum => out.push(self.sum as u64),
+            AggFn::Min => out.push(self.min as u64),
+            AggFn::Max => out.push(self.max as u64),
+            AggFn::Avg | AggFn::SumCount => {
+                out.push(self.sum as u64);
+                out.push(self.count as u64);
+            }
+        }
+    }
+
+    /// Inverse of [`AggState::encode`]. Fields the function does not persist
+    /// are restored to values that keep `merge` + `finalize(f)` correct.
+    pub fn decode(f: AggFn, words: &[u64]) -> Result<Self> {
+        let need = f.width();
+        if words.len() < need {
+            return Err(CtError::corrupt(format!(
+                "aggregate state needs {need} words, got {}",
+                words.len()
+            )));
+        }
+        let mut s = AggState::identity();
+        match f {
+            AggFn::Count => s.count = words[0] as i64,
+            AggFn::Sum => s.sum = words[0] as i64,
+            AggFn::Min => s.min = words[0] as i64,
+            AggFn::Max => s.max = words[0] as i64,
+            AggFn::Avg | AggFn::SumCount => {
+                s.sum = words[0] as i64;
+                s.count = words[1] as i64;
+            }
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = AggState::from_measure(5);
+        let b = AggState::from_measure(-3);
+        let c = AggState::from_measure(11);
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        let mut ba = b;
+        ba.merge(&a);
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut s = AggState::from_measure(7);
+        s.merge(&AggState::identity());
+        assert_eq!(s, AggState::from_measure(7));
+    }
+
+    #[test]
+    fn finalize_every_function() {
+        let mut s = AggState::from_measure(10);
+        s.merge(&AggState::from_measure(2));
+        s.merge(&AggState::from_measure(6));
+        assert_eq!(s.finalize(AggFn::Sum), 18.0);
+        assert_eq!(s.finalize(AggFn::Count), 3.0);
+        assert_eq!(s.finalize(AggFn::Min), 2.0);
+        assert_eq!(s.finalize(AggFn::Max), 10.0);
+        assert_eq!(s.finalize(AggFn::Avg), 6.0);
+        assert_eq!(s.finalize_int(AggFn::Sum), 18);
+        assert_eq!(s.finalize_int(AggFn::Avg), 6);
+    }
+
+    #[test]
+    fn empty_avg_is_nan_not_panic() {
+        let s = AggState::identity();
+        assert!(s.finalize(AggFn::Avg).is_nan());
+        assert_eq!(s.finalize_int(AggFn::Avg), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_answer() {
+        let mut s = AggState::from_measure(-4);
+        s.merge(&AggState::from_measure(9));
+        for f in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Avg] {
+            let mut words = Vec::new();
+            s.encode(f, &mut words);
+            assert_eq!(words.len(), f.width());
+            let back = AggState::decode(f, &words).unwrap();
+            let (a, b) = (s.finalize(f), back.finalize(f));
+            assert_eq!(a, b, "mismatch for {f:?}");
+        }
+    }
+
+    #[test]
+    fn decode_roundtrip_is_mergeable() {
+        // Decoded states must keep merging correctly: count-of-counts is a
+        // sum, which is how coarser views derive from finer ones.
+        let a = AggState::from_measure(3);
+        let b = AggState::from_measure(5);
+        let mut wa = Vec::new();
+        a.encode(AggFn::Count, &mut wa);
+        let mut wb = Vec::new();
+        b.encode(AggFn::Count, &mut wb);
+        let mut da = AggState::decode(AggFn::Count, &wa).unwrap();
+        let db = AggState::decode(AggFn::Count, &wb).unwrap();
+        da.merge(&db);
+        assert_eq!(da.finalize_int(AggFn::Count), 2);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for f in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Avg] {
+            assert_eq!(AggFn::from_tag(f.tag()).unwrap(), f);
+        }
+        assert!(AggFn::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn decode_short_buffer_is_error() {
+        assert!(AggState::decode(AggFn::Avg, &[1]).is_err());
+        assert!(AggState::decode(AggFn::Sum, &[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Merging a retraction of the same measure annihilates the count
+        /// and sum contributions exactly.
+        #[test]
+        fn retraction_cancels_insertion(m in -1000i64..1000) {
+            let mut s = AggState::from_measure(m);
+            s.merge(&AggState::retraction(m));
+            prop_assert!(s.is_annihilated());
+            prop_assert_eq!(s.sum, 0);
+        }
+
+        /// encode/decode preserves finalize for every function over merged
+        /// states.
+        #[test]
+        fn encode_decode_preserves_answers(ms in proptest::collection::vec(-100i64..100, 1..20)) {
+            let mut s = AggState::identity();
+            for &m in &ms {
+                s.merge(&AggState::from_measure(m));
+            }
+            for f in [AggFn::Count, AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Avg, AggFn::SumCount] {
+                let mut words = Vec::new();
+                s.encode(f, &mut words);
+                let back = AggState::decode(f, &words).unwrap();
+                prop_assert_eq!(s.finalize(f).to_bits(), back.finalize(f).to_bits());
+            }
+        }
+
+        /// Merge order never matters (free permutation invariance).
+        #[test]
+        fn merge_is_order_insensitive(ms in proptest::collection::vec(-50i64..50, 2..12)) {
+            let mut fwd = AggState::identity();
+            for &m in &ms {
+                fwd.merge(&AggState::from_measure(m));
+            }
+            let mut rev = AggState::identity();
+            for &m in ms.iter().rev() {
+                rev.merge(&AggState::from_measure(m));
+            }
+            prop_assert_eq!(fwd, rev);
+        }
+    }
+}

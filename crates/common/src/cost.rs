@@ -1,0 +1,95 @@
+//! The simulated-time I/O cost model.
+//!
+//! The paper's headline ratios (10:1 queries, 100:1 updates, 16:1 load) are
+//! driven by one mechanism: the Cubetree organization turns *random* page
+//! I/O into *sequential* page I/O (its packing "permits sequential writes on
+//! the disk", §1 and §3.2). The paper's testbed — an UltraSPARC I with 32 MB
+//! of RAM and a 1998 SCSI disk — made that distinction roughly a 50× cost
+//! gap per page. On 2026 hardware with an OS page cache and NVMe storage the
+//! distinction all but vanishes from wall-clock, so this reproduction counts
+//! page accesses by class and converts them to simulated elapsed time with
+//! 1998-calibrated constants. Benchmarks report both wall-clock and
+//! simulated time; the *shape* claims live in the simulated metric, as argued
+//! in DESIGN.md.
+
+/// Costs of page accesses and tuple handling, in microseconds/nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Sequential 8 KiB page read (disk transfer at ~10 MB/s): µs.
+    pub seq_read_us: f64,
+    /// Random 8 KiB page read (dominated by seek + rotational delay): µs.
+    pub rand_read_us: f64,
+    /// Sequential page write: µs.
+    pub seq_write_us: f64,
+    /// Random page write: µs.
+    pub rand_write_us: f64,
+    /// CPU cost to process one tuple (compare/aggregate/copy): ns.
+    pub cpu_tuple_ns: f64,
+}
+
+impl CostModel {
+    /// A 1998-era disk: ~10 MB/s sustained transfer (0.8 ms per 8 KiB page)
+    /// and ~12 ms average seek + rotational latency for a random access.
+    pub const DISK_1998: CostModel = CostModel {
+        seq_read_us: 800.0,
+        rand_read_us: 12_000.0,
+        seq_write_us: 800.0,
+        rand_write_us: 12_000.0,
+        cpu_tuple_ns: 2_000.0,
+    };
+
+    /// A model with no I/O weighting — useful in tests that only care about
+    /// logical behaviour.
+    pub const FREE: CostModel =
+        CostModel { seq_read_us: 0.0, rand_read_us: 0.0, seq_write_us: 0.0, rand_write_us: 0.0, cpu_tuple_ns: 0.0 };
+
+    /// Simulated elapsed seconds for a set of access counts.
+    pub fn seconds(
+        &self,
+        seq_reads: u64,
+        rand_reads: u64,
+        seq_writes: u64,
+        rand_writes: u64,
+        tuples: u64,
+    ) -> f64 {
+        let us = seq_reads as f64 * self.seq_read_us
+            + rand_reads as f64 * self.rand_read_us
+            + seq_writes as f64 * self.seq_write_us
+            + rand_writes as f64 * self.rand_write_us;
+        us / 1e6 + tuples as f64 * self.cpu_tuple_ns / 1e9
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::DISK_1998
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_io_dominates() {
+        let m = CostModel::DISK_1998;
+        // 1000 random reads should cost ~15x more than 1000 sequential reads.
+        let seq = m.seconds(1000, 0, 0, 0, 0);
+        let rnd = m.seconds(0, 1000, 0, 0, 0);
+        assert!(rnd / seq > 10.0, "random/sequential ratio {}", rnd / seq);
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        assert_eq!(CostModel::FREE.seconds(10, 10, 10, 10, 10), 0.0);
+    }
+
+    #[test]
+    fn seconds_are_additive() {
+        let m = CostModel::DISK_1998;
+        let a = m.seconds(1, 2, 3, 4, 5);
+        let b = m.seconds(10, 20, 30, 40, 50);
+        let ab = m.seconds(11, 22, 33, 44, 55);
+        assert!((a + b - ab).abs() < 1e-12);
+    }
+}

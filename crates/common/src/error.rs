@@ -1,0 +1,86 @@
+//! Shared error type for every crate in the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, CtError>;
+
+/// Errors surfaced by the storage engines and the Cubetree layers.
+#[derive(Debug)]
+pub enum CtError {
+    /// An underlying file-system operation failed.
+    Io(std::io::Error),
+    /// A page, record or key failed to decode (corruption or version skew).
+    Corrupt(String),
+    /// The caller asked for something the engine cannot satisfy
+    /// (e.g. a query over attributes no materialized view covers).
+    Unsupported(String),
+    /// An invariant the caller must uphold was violated
+    /// (e.g. loading unsorted input into a packed structure).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for CtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtError::Io(e) => write!(f, "i/o error: {e}"),
+            CtError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            CtError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CtError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CtError {
+    fn from(e: std::io::Error) -> Self {
+        CtError::Io(e)
+    }
+}
+
+impl CtError {
+    /// Convenience constructor for corruption errors.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        CtError::Corrupt(msg.into())
+    }
+
+    /// Convenience constructor for unsupported-operation errors.
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        CtError::Unsupported(msg.into())
+    }
+
+    /// Convenience constructor for invalid-argument errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        CtError::InvalidArgument(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(CtError::corrupt("bad page").to_string(), "corrupt data: bad page");
+        assert_eq!(CtError::unsupported("x").to_string(), "unsupported: x");
+        assert_eq!(CtError::invalid("y").to_string(), "invalid argument: y");
+        let io = CtError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = CtError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+        assert!(CtError::corrupt("x").source().is_none());
+    }
+}

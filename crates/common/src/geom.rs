@@ -1,0 +1,383 @@
+//! Points and rectangles in the Cubetree coordinate space.
+//!
+//! Paper §2.2 maps every tuple of a materialized view to a point in the index
+//! space of an R-tree: attribute `a1` becomes the `x` coordinate, `a2` the
+//! `y` coordinate, and so on. Coordinates are *positive* integers; when a view
+//! of arity `k` is stored in a tree of dimensionality `d > k`, the unused
+//! coordinates `k+1 ..= d` are set to **zero** (§2.3, "valid mapping"). The
+//! scalar `none` view maps to the origin.
+//!
+//! Paper §2.3 fixes the packing sort order: the points of `R{x1,…,xd}` are
+//! sorted first by `xd`, then `x(d-1)`, …, then `x1` (e.g. `R{x,y}` sorts in
+//! `y,x` order). [`Point::packed_cmp`] implements exactly that order; it is
+//! what keeps every view's tuples in a distinct contiguous run of leaves.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum dimensionality of a single Cubetree.
+///
+/// The paper's examples use up to 4 dimensions; real deployments cited in
+/// \[KR97\] use warehouses with 10 dimension tables but map views of arity at
+/// most `maxArity` per tree. Eight is comfortably above every workload in the
+/// evaluation while keeping points `Copy`.
+pub const MAX_DIMS: usize = 8;
+
+/// Largest usable coordinate value. `u64::MAX` is reserved as an exclusive
+/// sentinel so that "open" query ranges `[1, COORD_MAX]` can never overflow.
+pub const COORD_MAX: u64 = u64::MAX - 1;
+
+/// A point in a `dims`-dimensional Cubetree space.
+///
+/// Coordinates beyond `dims` are guaranteed to be zero, which lets a single
+/// fixed-size array back points of any arity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point {
+    coords: [u64; MAX_DIMS],
+    dims: u8,
+}
+
+impl Point {
+    /// Builds a point of dimensionality `dims` from the leading coordinates in
+    /// `coords`; missing trailing coordinates are zero-padded (the paper's
+    /// valid-mapping rule for views of arity `< dims`).
+    ///
+    /// # Panics
+    /// Panics if `coords.len() > dims` or `dims > MAX_DIMS`.
+    pub fn new(coords: &[u64], dims: usize) -> Self {
+        assert!(dims <= MAX_DIMS, "tree dimensionality {dims} exceeds MAX_DIMS");
+        assert!(coords.len() <= dims, "point arity {} exceeds tree dims {dims}", coords.len());
+        let mut c = [0u64; MAX_DIMS];
+        c[..coords.len()].copy_from_slice(coords);
+        Point { coords: c, dims: dims as u8 }
+    }
+
+    /// The origin of a `dims`-dimensional space — where the scalar `none`
+    /// view lives (paper §3: "mapped to the origin point (0,0,..)").
+    pub fn origin(dims: usize) -> Self {
+        Point::new(&[], dims)
+    }
+
+    /// Dimensionality of the space this point lives in.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// All `dims` coordinates (including zero padding).
+    #[inline]
+    pub fn coords(&self) -> &[u64] {
+        &self.coords[..self.dims as usize]
+    }
+
+    /// A single coordinate.
+    #[inline]
+    pub fn coord(&self, axis: usize) -> u64 {
+        debug_assert!(axis < self.dims());
+        self.coords[axis]
+    }
+
+    /// Number of leading non-padding coordinates if this point was produced by
+    /// a valid mapping of a view of some arity: the index one past the last
+    /// non-zero coordinate. The origin has arity 0.
+    pub fn mapped_arity(&self) -> usize {
+        (0..self.dims())
+            .rev()
+            .find(|&i| self.coords[i] != 0)
+            .map_or(0, |i| i + 1)
+    }
+
+    /// The paper's packing order: compare by the **last** coordinate first,
+    /// then the one before it, down to the first (§2.3).
+    ///
+    /// # Panics
+    /// Debug-asserts both points share a dimensionality.
+    #[inline]
+    pub fn packed_cmp(&self, other: &Point) -> Ordering {
+        debug_assert_eq!(self.dims, other.dims, "comparing points of different spaces");
+        for i in (0..self.dims as usize).rev() {
+            match self.coords[i].cmp(&other.coords[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Ord for Point {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.packed_cmp(other)
+    }
+}
+
+impl PartialOrd for Point {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An axis-aligned hyper-rectangle: the MBR geometry of R-tree nodes and the
+/// region form of slice queries (paper Figure 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    lo: [u64; MAX_DIMS],
+    hi: [u64; MAX_DIMS],
+    dims: u8,
+}
+
+impl Rect {
+    /// A rectangle from inclusive bounds.
+    ///
+    /// # Panics
+    /// Panics if the bounds disagree in length, exceed [`MAX_DIMS`], or are
+    /// inverted on any axis.
+    pub fn new(lo: &[u64], hi: &[u64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound arity mismatch");
+        assert!(lo.len() <= MAX_DIMS);
+        let dims = lo.len();
+        let mut l = [0u64; MAX_DIMS];
+        let mut h = [0u64; MAX_DIMS];
+        l[..dims].copy_from_slice(lo);
+        h[..dims].copy_from_slice(hi);
+        for i in 0..dims {
+            assert!(l[i] <= h[i], "inverted bounds on axis {i}: {} > {}", l[i], h[i]);
+        }
+        Rect { lo: l, hi: h, dims: dims as u8 }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    pub fn from_point(p: &Point) -> Self {
+        Rect { lo: p.coords, hi: p.coords, dims: p.dims as u8 }
+    }
+
+    /// An "empty" rectangle suitable as the identity for [`Rect::expand`]:
+    /// inverted bounds that any real expansion will overwrite.
+    pub fn empty(dims: usize) -> Self {
+        assert!(dims <= MAX_DIMS);
+        let mut r = Rect { lo: [u64::MAX; MAX_DIMS], hi: [0u64; MAX_DIMS], dims: dims as u8 };
+        // Keep padding axes in a consistent state.
+        for i in dims..MAX_DIMS {
+            r.lo[i] = u64::MAX;
+            r.hi[i] = 0;
+        }
+        r
+    }
+
+    /// True if no point has been added yet.
+    pub fn is_empty(&self) -> bool {
+        (0..self.dims()).any(|i| self.lo[i] > self.hi[i])
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Inclusive lower bounds.
+    #[inline]
+    pub fn lo(&self) -> &[u64] {
+        &self.lo[..self.dims as usize]
+    }
+
+    /// Inclusive upper bounds.
+    #[inline]
+    pub fn hi(&self) -> &[u64] {
+        &self.hi[..self.dims as usize]
+    }
+
+    /// Grows the rectangle to cover `p`.
+    pub fn expand_point(&mut self, p: &Point) {
+        debug_assert_eq!(self.dims, p.dims);
+        for i in 0..self.dims() {
+            self.lo[i] = self.lo[i].min(p.coords[i]);
+            self.hi[i] = self.hi[i].max(p.coords[i]);
+        }
+    }
+
+    /// Grows the rectangle to cover `other`.
+    pub fn expand(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dims, other.dims);
+        for i in 0..self.dims() {
+            self.lo[i] = self.lo[i].min(other.lo[i]);
+            self.hi[i] = self.hi[i].max(other.hi[i]);
+        }
+    }
+
+    /// True if the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims()).all(|i| self.lo[i] <= other.hi[i] && self.hi[i] >= other.lo[i])
+    }
+
+    /// True if `p` lies inside the rectangle.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        debug_assert_eq!(self.dims, p.dims);
+        (0..self.dims()).all(|i| self.lo[i] <= p.coords[i] && p.coords[i] <= self.hi[i])
+    }
+
+    /// True if `other` lies entirely inside the rectangle.
+    pub fn contains(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims()).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}..{:?}]", &self.lo[..self.dims()], &self.hi[..self.dims()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_is_zero() {
+        let p = Point::new(&[7, 3], 4);
+        assert_eq!(p.coords(), &[7, 3, 0, 0]);
+        assert_eq!(p.dims(), 4);
+        assert_eq!(p.mapped_arity(), 2);
+        assert_eq!(Point::origin(3).mapped_arity(), 0);
+    }
+
+    #[test]
+    fn packed_order_matches_paper_table_2() {
+        // Paper Table 2: view V8 (arity 1) points (partkey, 0) sorted by
+        // (y, x): 1,2,3,4,5,6 — plain x order because y is constant zero.
+        let mut pts: Vec<Point> =
+            [4u64, 2, 3, 1, 6, 5].iter().map(|&k| Point::new(&[k], 2)).collect();
+        pts.sort();
+        let xs: Vec<u64> = pts.iter().map(|p| p.coord(0)).collect();
+        assert_eq!(xs, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn packed_order_matches_paper_table_4() {
+        // Paper Table 4: view V9 (suppkey→x, custkey→y) sorted in (y, x)
+        // order: (1,1),(2,1),(3,1),(1,3),(3,3).
+        let raw = [(3u64, 1u64), (1, 1), (1, 3), (3, 3), (2, 1)];
+        let mut pts: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(&[x, y], 2)).collect();
+        pts.sort();
+        let got: Vec<(u64, u64)> = pts.iter().map(|p| (p.coord(0), p.coord(1))).collect();
+        assert_eq!(got, vec![(1, 1), (2, 1), (3, 1), (1, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn lower_arity_views_sort_before_higher_arity() {
+        // §2.4: in R3{x,y}, all V8 (arity-1) points precede all V9 (arity-2)
+        // points because their y coordinate is zero.
+        let v8 = Point::new(&[6], 2);
+        let v9 = Point::new(&[1, 1], 2);
+        assert!(v8 < v9);
+    }
+
+    #[test]
+    fn rect_expand_and_contains() {
+        let mut r = Rect::empty(2);
+        assert!(r.is_empty());
+        r.expand_point(&Point::new(&[3, 5], 2));
+        r.expand_point(&Point::new(&[7, 1], 2));
+        assert!(!r.is_empty());
+        assert_eq!(r.lo(), &[3, 1]);
+        assert_eq!(r.hi(), &[7, 5]);
+        assert!(r.contains_point(&Point::new(&[5, 3], 2)));
+        assert!(!r.contains_point(&Point::new(&[8, 3], 2)));
+        let inner = Rect::new(&[4, 2], &[6, 4]);
+        assert!(r.contains(&inner));
+        assert!(r.intersects(&inner));
+        let outside = Rect::new(&[8, 6], &[9, 9]);
+        assert!(!r.intersects(&outside));
+    }
+
+    #[test]
+    fn slice_region_excludes_other_arities() {
+        // A slice query for an arity-2 view in a 3-d tree pins z to [0,0];
+        // arity-3 points (z >= 1) must not match, nor must arity-1 points
+        // match an arity-2 open region on y=[1,MAX].
+        let q_v1 = Rect::new(&[1, 1, 0], &[COORD_MAX, COORD_MAX, 0]);
+        assert!(q_v1.contains_point(&Point::new(&[5, 9], 3)));
+        assert!(!q_v1.contains_point(&Point::new(&[5, 9, 2], 3)));
+        assert!(!q_v1.contains_point(&Point::new(&[5], 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(&[5], &[4]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point(dims: usize) -> impl Strategy<Value = Point> {
+        proptest::collection::vec(0..1000u64, dims).prop_map(move |c| Point::new(&c, dims))
+    }
+
+    proptest! {
+        /// packed_cmp is a total order consistent with reversed-tuple order.
+        #[test]
+        fn packed_cmp_is_reversed_lex(a in arb_point(3), b in arb_point(3)) {
+            let ka = (a.coord(2), a.coord(1), a.coord(0));
+            let kb = (b.coord(2), b.coord(1), b.coord(0));
+            prop_assert_eq!(a.packed_cmp(&b), ka.cmp(&kb));
+        }
+
+        /// Sorting is antisymmetric and transitive by construction; check
+        /// reflexivity and duality.
+        #[test]
+        fn packed_cmp_duality(a in arb_point(4), b in arb_point(4)) {
+            prop_assert_eq!(a.packed_cmp(&a), std::cmp::Ordering::Equal);
+            prop_assert_eq!(a.packed_cmp(&b), b.packed_cmp(&a).reverse());
+        }
+
+        /// A rectangle grown from points contains exactly those points.
+        #[test]
+        fn expanded_rect_contains_its_points(
+            pts in proptest::collection::vec((1..100u64, 1..100u64), 1..30)
+        ) {
+            let mut r = Rect::empty(2);
+            for &(x, y) in &pts {
+                r.expand_point(&Point::new(&[x, y], 2));
+            }
+            for &(x, y) in &pts {
+                prop_assert!(r.contains_point(&Point::new(&[x, y], 2)));
+            }
+            prop_assert!(!r.is_empty());
+        }
+
+        /// intersects is symmetric; containment implies intersection.
+        #[test]
+        fn rect_relations(
+            a in (1..50u64, 1..50u64, 1..50u64, 1..50u64),
+            b in (1..50u64, 1..50u64, 1..50u64, 1..50u64),
+        ) {
+            let ra = Rect::new(&[a.0.min(a.1), a.2.min(a.3)], &[a.0.max(a.1), a.2.max(a.3)]);
+            let rb = Rect::new(&[b.0.min(b.1), b.2.min(b.3)], &[b.0.max(b.1), b.2.max(b.3)]);
+            prop_assert_eq!(ra.intersects(&rb), rb.intersects(&ra));
+            if ra.contains(&rb) {
+                prop_assert!(ra.intersects(&rb));
+            }
+        }
+    }
+}

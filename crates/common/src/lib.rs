@@ -1,0 +1,30 @@
+//! # ct-common — shared types for the Cubetree reproduction
+//!
+//! This crate holds the vocabulary types shared by every layer of the system:
+//!
+//! * [`geom`] — multidimensional points and rectangles over the unsigned
+//!   coordinate space used by Cubetrees (paper §2.2: every coordinate is a
+//!   positive value, zero is reserved for padding unused dimensions).
+//! * [`agg`] — aggregate functions (COUNT/SUM/MIN/MAX/AVG) and their mergeable
+//!   running states, including the fixed-width word encoding used by the
+//!   storage layers.
+//! * [`schema`] — attribute/view metadata: projection lists, arities, and the
+//!   warehouse catalog (attribute names, cardinalities, hierarchies).
+//! * [`query`] — the slice-query model of the paper's §3.1/§3.3 evaluation.
+//! * [`cost`] — the 1998-calibrated I/O cost model used to turn page-access
+//!   counters into simulated elapsed time.
+//! * [`error`] — the shared error type.
+
+pub mod agg;
+pub mod cost;
+pub mod error;
+pub mod geom;
+pub mod query;
+pub mod schema;
+
+pub use agg::{AggFn, AggState};
+pub use cost::CostModel;
+pub use error::{CtError, Result};
+pub use geom::{Point, Rect, COORD_MAX, MAX_DIMS};
+pub use query::SliceQuery;
+pub use schema::{AttrId, AttrMeta, Catalog, Hierarchy, ViewDef, ViewId};

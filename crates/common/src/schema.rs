@@ -1,0 +1,299 @@
+//! Warehouse schema metadata: attributes, hierarchies, views, catalog.
+//!
+//! The paper's framework (§2.1–2.2) is schema-agnostic: a view is identified
+//! by its *projection list* — the attributes from the fact and dimension
+//! tables it groups by — plus the aggregate it materializes. Dimension
+//! hierarchies (`day → month → year`, `partkey → brand`) make a view over a
+//! coarse attribute derivable from one over the fine attribute it rolls up.
+
+use crate::agg::AggFn;
+use crate::error::{CtError, Result};
+
+/// Identifier of a groupable attribute (fact foreign key or dimension
+/// attribute). Indexes into the catalog's attribute table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AttrId(pub u16);
+
+/// Identifier of a materialized view.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ViewId(pub u32);
+
+/// Metadata of one groupable attribute.
+#[derive(Clone, Debug)]
+pub struct AttrMeta {
+    /// Human-readable name (`"partkey"`, `"part.brand"`, …).
+    pub name: String,
+    /// Number of distinct values; the attribute's domain is `1..=cardinality`
+    /// (zero is reserved for coordinate padding, paper §2.2).
+    pub cardinality: u64,
+}
+
+/// A functional dependency `base → derived` realized as a lookup table:
+/// `map[base_value]` is the derived value (1-based; index 0 is unused).
+///
+/// Example: `partkey → part.brand` with `map[p] = brand(p)`.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// The fine attribute (determines the coarse one).
+    pub base: AttrId,
+    /// The coarse attribute.
+    pub derived: AttrId,
+    /// `map[v]` for `v in 1..=card(base)`; `map[0]` is a placeholder.
+    pub map: Vec<u64>,
+}
+
+impl Hierarchy {
+    /// Applies the dependency to a base value.
+    ///
+    /// # Panics
+    /// Panics if `base_value` is outside the base domain.
+    #[inline]
+    pub fn apply(&self, base_value: u64) -> u64 {
+        self.map[base_value as usize]
+    }
+}
+
+/// Definition of one materialized aggregate view ("summary table").
+#[derive(Clone, Debug)]
+pub struct ViewDef {
+    /// Stable identifier.
+    pub id: ViewId,
+    /// The projection list — the group-by attributes, in declaration order.
+    /// Order matters: it is the coordinate mapping order (`a1 → x`, `a2 → y`,
+    /// …) and therefore determines the view's physical sort order.
+    pub projection: Vec<AttrId>,
+    /// The aggregate the view materializes.
+    pub agg: AggFn,
+}
+
+impl ViewDef {
+    /// Creates a view definition.
+    pub fn new(id: u32, projection: Vec<AttrId>, agg: AggFn) -> Self {
+        ViewDef { id: ViewId(id), projection, agg }
+    }
+
+    /// The paper's arity `|V|`: number of attributes in the projection list.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.projection.len()
+    }
+
+    /// True if this view groups by exactly the given attribute set
+    /// (order-insensitive).
+    pub fn covers_exactly(&self, attrs: &[AttrId]) -> bool {
+        self.arity() == attrs.len() && attrs.iter().all(|a| self.projection.contains(a))
+    }
+
+    /// Display name in the paper's notation, e.g. `V{partkey,suppkey}`.
+    pub fn display_name(&self, catalog: &Catalog) -> String {
+        let names: Vec<&str> =
+            self.projection.iter().map(|a| catalog.attr(*a).name.as_str()).collect();
+        if names.is_empty() {
+            "V{none}".to_string()
+        } else {
+            format!("V{{{}}}", names.join(","))
+        }
+    }
+}
+
+/// The warehouse catalog: every groupable attribute plus the functional
+/// dependencies between them.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    attrs: Vec<AttrMeta>,
+    hierarchies: Vec<Hierarchy>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers an attribute and returns its id.
+    pub fn add_attr(&mut self, name: impl Into<String>, cardinality: u64) -> AttrId {
+        let id = AttrId(self.attrs.len() as u16);
+        self.attrs.push(AttrMeta { name: name.into(), cardinality });
+        id
+    }
+
+    /// Registers a functional dependency `base → derived`.
+    ///
+    /// # Panics
+    /// Panics if the map is shorter than the base domain.
+    pub fn add_hierarchy(&mut self, base: AttrId, derived: AttrId, map: Vec<u64>) {
+        assert!(
+            map.len() as u64 > self.attr(base).cardinality,
+            "hierarchy map must cover 1..=card(base)"
+        );
+        self.hierarchies.push(Hierarchy { base, derived, map });
+    }
+
+    /// Attribute metadata.
+    pub fn attr(&self, id: AttrId) -> &AttrMeta {
+        &self.attrs[id.0 as usize]
+    }
+
+    /// Number of registered attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All registered hierarchies.
+    pub fn hierarchies(&self) -> &[Hierarchy] {
+        &self.hierarchies
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name).map(|i| AttrId(i as u16))
+    }
+
+    /// The chain of hierarchies turning a value of some attribute in `from`
+    /// into a value of `target`, or `None` if `target` is not functionally
+    /// determined by `from`.
+    ///
+    /// Returns `(source_attr, steps)`: apply the steps left-to-right to the
+    /// source attribute's value. An empty chain means `target ∈ from`.
+    pub fn derivation_path(&self, from: &[AttrId], target: AttrId) -> Option<(AttrId, Vec<&Hierarchy>)> {
+        if from.contains(&target) {
+            return Some((target, Vec::new()));
+        }
+        // Breadth-first over the dependency graph, starting from each source
+        // attribute. Hierarchies chain (e.g. timekey → month → year).
+        for &src in from {
+            if let Some(path) = self.bfs_path(src, target) {
+                return Some((src, path));
+            }
+        }
+        None
+    }
+
+    fn bfs_path(&self, src: AttrId, target: AttrId) -> Option<Vec<&Hierarchy>> {
+        use std::collections::VecDeque;
+        let mut queue: VecDeque<(AttrId, Vec<&Hierarchy>)> = VecDeque::new();
+        queue.push_back((src, Vec::new()));
+        let mut seen = vec![false; self.attrs.len()];
+        seen[src.0 as usize] = true;
+        while let Some((at, path)) = queue.pop_front() {
+            for h in &self.hierarchies {
+                if h.base == at && !seen[h.derived.0 as usize] {
+                    let mut p = path.clone();
+                    p.push(h);
+                    if h.derived == target {
+                        return Some(p);
+                    }
+                    seen[h.derived.0 as usize] = true;
+                    queue.push_back((h.derived, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// True if a view grouping by `child` can be computed from one grouping by
+    /// `parent` — the lattice *derives-from* relation extended with
+    /// hierarchies ([MQM97, GHRU97], paper §3.2).
+    pub fn derivable_from(&self, child: &[AttrId], parent: &[AttrId]) -> bool {
+        child.iter().all(|&a| self.derivation_path(parent, a).is_some())
+    }
+
+    /// Translates one attribute value: `source_attrs[i]` ↦ `values[i]`
+    /// provides the source tuple; computes the value of `target`.
+    pub fn translate(
+        &self,
+        source_attrs: &[AttrId],
+        values: &[u64],
+        target: AttrId,
+    ) -> Result<u64> {
+        let (src, path) = self.derivation_path(source_attrs, target).ok_or_else(|| {
+            CtError::unsupported(format!(
+                "attribute {} is not derivable from the source projection",
+                self.attr(target).name
+            ))
+        })?;
+        let idx = source_attrs.iter().position(|&a| a == src).expect("src came from the list");
+        let mut v = values[idx];
+        for h in path {
+            v = h.apply(v);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_catalog() -> (Catalog, AttrId, AttrId, AttrId, AttrId) {
+        let mut c = Catalog::new();
+        let partkey = c.add_attr("partkey", 6);
+        let suppkey = c.add_attr("suppkey", 3);
+        let brand = c.add_attr("part.brand", 2);
+        let timekey = c.add_attr("timekey", 4);
+        let month = c.add_attr("month", 2);
+        let year = c.add_attr("year", 1);
+        // partkey → brand: parts 1-3 brand 1, parts 4-6 brand 2.
+        c.add_hierarchy(partkey, brand, vec![0, 1, 1, 1, 2, 2, 2]);
+        // timekey → month → year.
+        c.add_hierarchy(timekey, month, vec![0, 1, 1, 2, 2]);
+        c.add_hierarchy(month, year, vec![0, 1, 1]);
+        let _ = (suppkey, year);
+        (c, partkey, brand, timekey, month)
+    }
+
+    #[test]
+    fn direct_membership_is_derivable() {
+        let (c, partkey, _, timekey, _) = toy_catalog();
+        assert!(c.derivable_from(&[partkey], &[partkey, timekey]));
+        let (src, path) = c.derivation_path(&[partkey, timekey], partkey).unwrap();
+        assert_eq!(src, partkey);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn hierarchy_derivation_single_step() {
+        let (c, partkey, brand, _, _) = toy_catalog();
+        assert!(c.derivable_from(&[brand], &[partkey]));
+        assert!(!c.derivable_from(&[partkey], &[brand]), "FD only goes fine→coarse");
+        assert_eq!(c.translate(&[partkey], &[5], brand).unwrap(), 2);
+        assert_eq!(c.translate(&[partkey], &[2], brand).unwrap(), 1);
+    }
+
+    #[test]
+    fn hierarchy_derivation_chains() {
+        let (c, _, _, timekey, month) = toy_catalog();
+        let year = c.attr_by_name("year").unwrap();
+        // year derivable from timekey through month.
+        assert!(c.derivable_from(&[year], &[timekey]));
+        assert_eq!(c.translate(&[timekey], &[3], year).unwrap(), 1);
+        assert_eq!(c.translate(&[month], &[2], year).unwrap(), 1);
+    }
+
+    #[test]
+    fn translate_unreachable_errors() {
+        let (c, partkey, _, _, month) = toy_catalog();
+        assert!(c.translate(&[month], &[1], partkey).is_err());
+    }
+
+    #[test]
+    fn view_names_match_paper_notation() {
+        let (c, partkey, _, _, _) = toy_catalog();
+        let suppkey = c.attr_by_name("suppkey").unwrap();
+        let v = ViewDef::new(1, vec![partkey, suppkey], AggFn::Sum);
+        assert_eq!(v.display_name(&c), "V{partkey,suppkey}");
+        assert_eq!(v.arity(), 2);
+        let none = ViewDef::new(2, vec![], AggFn::Sum);
+        assert_eq!(none.display_name(&c), "V{none}");
+        assert!(v.covers_exactly(&[suppkey, partkey]));
+        assert!(!v.covers_exactly(&[partkey]));
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let (c, partkey, _, _, _) = toy_catalog();
+        assert_eq!(c.attr_by_name("partkey"), Some(partkey));
+        assert_eq!(c.attr_by_name("nope"), None);
+        assert_eq!(c.attr(partkey).cardinality, 6);
+    }
+}

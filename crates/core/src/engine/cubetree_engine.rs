@@ -1,0 +1,164 @@
+//! The Cubetree storage engine (the paper's proposal).
+
+use crate::engine::RolapEngine;
+use crate::forest::CubetreeForest;
+use crate::query::execute_forest_query;
+use ct_common::query::QueryRow;
+use ct_common::{AttrId, Catalog, CostModel, CtError, Result, SliceQuery, ViewDef, ViewId};
+use ct_cube::Relation;
+use ct_rtree::LeafFormat;
+use ct_storage::env::DEFAULT_POOL_PAGES;
+use ct_storage::StorageEnv;
+
+/// Configuration of a [`CubetreeEngine`].
+#[derive(Clone, Debug)]
+pub struct CubetreeConfig {
+    /// The logical views to materialize.
+    pub views: Vec<ViewDef>,
+    /// Extra sort-order replicas `(base view, permuted projection)` — the
+    /// paper's §3 "data replication scheme, where selected views are stored
+    /// in multiple sort-orders".
+    pub replicas: Vec<(ViewId, Vec<AttrId>)>,
+    /// Physical leaf format (the paper's zero-elided compression unless
+    /// running an ablation).
+    pub format: LeafFormat,
+    /// Buffer pool size in pages.
+    pub pool_pages: usize,
+    /// I/O cost model for simulated time.
+    pub cost: CostModel,
+}
+
+impl CubetreeConfig {
+    /// A default configuration over the given views.
+    pub fn new(views: Vec<ViewDef>) -> Self {
+        CubetreeConfig {
+            views,
+            replicas: Vec::new(),
+            format: LeafFormat::default(),
+            pool_pages: DEFAULT_POOL_PAGES,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Adds a replica.
+    pub fn with_replica(mut self, base: ViewId, projection: Vec<AttrId>) -> Self {
+        self.replicas.push((base, projection));
+        self
+    }
+}
+
+/// The paper's storage organization: a SelectMapping forest of packed,
+/// compressed R-trees.
+pub struct CubetreeEngine {
+    env: StorageEnv,
+    catalog: Catalog,
+    config: CubetreeConfig,
+    forest: Option<CubetreeForest>,
+}
+
+impl CubetreeEngine {
+    /// Creates an engine (storage environment included) for `catalog`.
+    pub fn new(catalog: Catalog, config: CubetreeConfig) -> Result<Self> {
+        let env = StorageEnv::with_config("cubetree", config.pool_pages, config.cost)?;
+        Ok(CubetreeEngine { env, catalog, config, forest: None })
+    }
+
+    /// The built forest (after [`RolapEngine::load`]).
+    pub fn forest(&self) -> Option<&CubetreeForest> {
+        self.forest.as_ref()
+    }
+
+    fn forest_ref(&self) -> Result<&CubetreeForest> {
+        self.forest.as_ref().ok_or_else(|| CtError::invalid("engine not loaded yet"))
+    }
+}
+
+impl RolapEngine for CubetreeEngine {
+    fn name(&self) -> &'static str {
+        "cubetrees"
+    }
+
+    fn load(&mut self, fact: &Relation) -> Result<()> {
+        let forest = CubetreeForest::build(
+            &self.env,
+            &self.catalog,
+            fact,
+            &self.config.views,
+            &self.config.replicas,
+            self.config.format,
+        )?;
+        self.env.pool().flush_all()?;
+        self.forest = Some(forest);
+        Ok(())
+    }
+
+    fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>> {
+        execute_forest_query(self.forest_ref()?, &self.env, &self.catalog, q)
+    }
+
+    fn update(&mut self, delta: &Relation) -> Result<()> {
+        let forest =
+            self.forest.as_mut().ok_or_else(|| CtError::invalid("engine not loaded yet"))?;
+        forest.update(&self.env, &self.catalog, delta)?;
+        self.env.pool().flush_all()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.forest.as_ref().map_or(0, |f| f.storage_bytes(&self.env))
+    }
+
+    fn env(&self) -> &StorageEnv {
+        &self.env
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::AggFn;
+
+    fn catalog() -> (Catalog, AttrId, AttrId) {
+        let mut c = Catalog::new();
+        let p = c.add_attr("p", 5);
+        let s = c.add_attr("s", 3);
+        (c, p, s)
+    }
+
+    #[test]
+    fn querying_before_load_fails() {
+        let (c, p, s) = catalog();
+        let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
+        let engine = CubetreeEngine::new(c, CubetreeConfig::new(views)).unwrap();
+        assert!(engine.query(&SliceQuery::new(vec![p], vec![])).is_err());
+        assert_eq!(engine.storage_bytes(), 0);
+        assert!(engine.forest().is_none());
+    }
+
+    #[test]
+    fn updating_before_load_fails() {
+        let (c, p, s) = catalog();
+        let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
+        let mut engine = CubetreeEngine::new(c, CubetreeConfig::new(views)).unwrap();
+        let delta = Relation::empty(vec![p, s]);
+        assert!(engine.update(&delta).is_err());
+    }
+
+    #[test]
+    fn load_then_query_roundtrip() {
+        let (c, p, s) = catalog();
+        let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
+        let mut engine = CubetreeEngine::new(c, CubetreeConfig::new(views)).unwrap();
+        let fact = Relation::from_fact(vec![p, s], vec![1, 1, 2, 2, 1, 2], &[3, 4, 5]);
+        engine.load(&fact).unwrap();
+        assert_eq!(engine.name(), "cubetrees");
+        assert!(engine.storage_bytes() > 0);
+        let rows = engine.query(&SliceQuery::new(vec![s], vec![(p, 1)])).unwrap();
+        assert_eq!(rows.len(), 2);
+        let total: f64 = rows.iter().map(|r| r.agg).sum();
+        assert_eq!(total, 8.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The two end-to-end ROLAP storage engines of the paper's evaluation.
+//!
+//! Both engines materialize the *same* logical view set over the same paged
+//! storage substrate and answer the same [`SliceQuery`] model, so every
+//! difference in the experiments comes from the storage organization itself:
+//!
+//! * [`ConventionalEngine`] — "the straight forward implementation": each
+//!   view in a heap table, indexed by B-trees; row-at-a-time incremental
+//!   maintenance (paper §3, the Informix-tables configuration).
+//! * [`CubetreeEngine`] — the paper's proposal: the views in a SelectMapping
+//!   forest of packed compressed R-trees with merge-pack refresh.
+
+mod conventional;
+mod cubetree_engine;
+
+pub use conventional::{ConventionalConfig, ConventionalEngine, LoadBreakdown};
+pub use cubetree_engine::{CubetreeConfig, CubetreeEngine};
+
+use ct_common::query::QueryRow;
+use ct_common::{Catalog, Result, SliceQuery};
+use ct_cube::Relation;
+use ct_storage::StorageEnv;
+
+/// A complete ROLAP storage engine: load a fact relation, answer slice
+/// queries, apply bulk increments.
+pub trait RolapEngine {
+    /// Short engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes and materializes the configured view set from `fact`.
+    fn load(&mut self, fact: &Relation) -> Result<()>;
+
+    /// Answers one slice query from the materialized views.
+    fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>>;
+
+    /// Applies a fact-table increment to every materialized view
+    /// (each engine's native refresh strategy).
+    fn update(&mut self, delta: &Relation) -> Result<()>;
+
+    /// Bytes allocated by the materialized views and their indexes.
+    fn storage_bytes(&self) -> u64;
+
+    /// The engine's storage environment (for I/O accounting).
+    fn env(&self) -> &StorageEnv;
+
+    /// The warehouse catalog.
+    fn catalog(&self) -> &Catalog;
+}

@@ -1,0 +1,360 @@
+//! Building and refreshing a Cubetree forest.
+//!
+//! The load pipeline is the paper's Figure 11: the fact data is pushed
+//! through the view-selection output, each view is computed from its
+//! smallest parent (\[AAD+96\], Figure 10), *the same sort* orders each view
+//! for packing, and the SelectMapping forest is bulk-loaded tree by tree.
+//! The refresh pipeline is Figure 15: compute the delta of every view from
+//! the increment, sort it, and merge-pack each tree into a fresh packed
+//! file.
+//!
+//! The paper's replica feature (§3: the top view stored in multiple sort
+//! orders "to further enhance the performance") is modeled as extra
+//! *placements*: physically distinct views with permuted projection lists
+//! that answer queries for the same logical view.
+
+use crate::select_mapping::{select_mapping, MappingPlan};
+use ct_common::{AttrId, Catalog, CtError, Point, Result, ViewDef, ViewId};
+use ct_cube::compute::packed_sort_cols;
+use ct_cube::{compute_view, plan_computation, PlanSource, Relation, SizeEstimator};
+use ct_rtree::{merge_pack, LeafFormat, PackedRTree, TreeBuilder, VecStream, ViewInfo};
+use ct_storage::{FileId, StorageEnv};
+
+/// One physical view placement in the forest.
+#[derive(Clone, Debug)]
+pub struct PlacedView {
+    /// The physical definition (for replicas, a permuted projection).
+    pub def: ViewDef,
+    /// The logical view this placement answers (identity for primaries).
+    pub logical: ViewId,
+    /// Which tree of the forest holds it.
+    pub tree: usize,
+}
+
+/// A forest of packed R-trees materializing a set of ROLAP views.
+pub struct CubetreeForest {
+    format: LeafFormat,
+    plan: MappingPlan,
+    trees: Vec<PackedRTree>,
+    fids: Vec<FileId>,
+    placements: Vec<PlacedView>,
+    generation: u64,
+}
+
+impl CubetreeForest {
+    /// Builds the forest from a fact relation.
+    ///
+    /// `replicas` lists `(base view id, permuted projection)` pairs; each
+    /// becomes an additional placement competing in the SelectMapping
+    /// allocation (a replica has the same arity as its base, so it always
+    /// lands in a different tree).
+    pub fn build(
+        env: &StorageEnv,
+        catalog: &Catalog,
+        fact: &Relation,
+        views: &[ViewDef],
+        replicas: &[(ViewId, Vec<AttrId>)],
+        format: LeafFormat,
+    ) -> Result<CubetreeForest> {
+        // Materialize replica definitions with fresh ids.
+        let mut next_id = views.iter().map(|v| v.id.0).max().map_or(0, |m| m + 1);
+        let mut all_defs: Vec<ViewDef> = views.to_vec();
+        let mut logical: Vec<ViewId> = views.iter().map(|v| v.id).collect();
+        for (base, projection) in replicas {
+            let base_def = views
+                .iter()
+                .find(|v| v.id == *base)
+                .ok_or_else(|| CtError::invalid(format!("replica base {base:?} not in view set")))?;
+            if !base_def.covers_exactly(projection) {
+                return Err(CtError::invalid(
+                    "replica projection must be a permutation of its base view",
+                ));
+            }
+            all_defs.push(ViewDef::new(next_id, projection.clone(), base_def.agg));
+            logical.push(*base);
+            next_id += 1;
+        }
+
+        // Allocate the forest.
+        let plan = select_mapping(&all_defs);
+
+        // Compute the primary view relations from smallest parents.
+        let estimator = SizeEstimator::new(catalog, fact.len() as u64);
+        let sizes: Vec<u64> =
+            views.iter().map(|v| estimator.estimate(&v.projection)).collect();
+        let cplan =
+            plan_computation(catalog, &fact.attrs, fact.len() as u64, views, &sizes)?;
+        let mut relations: Vec<Option<Relation>> = (0..all_defs.len()).map(|_| None).collect();
+        for step in &cplan.steps {
+            let target = &views[step.target];
+            let sort = packed_sort_cols(target.arity());
+            let rel = match step.source {
+                PlanSource::Fact => {
+                    compute_view(env, catalog, fact, &target.projection, &sort)?
+                }
+                PlanSource::View(j) => {
+                    let src = relations[j].as_ref().expect("plan order violated");
+                    compute_view(env, catalog, src, &target.projection, &sort)?
+                }
+            };
+            relations[step.target] = Some(rel);
+        }
+        // Replica relations: re-sort of their base relation.
+        for i in views.len()..all_defs.len() {
+            let base_idx = views.iter().position(|v| v.id == logical[i]).unwrap();
+            let base_rel = relations[base_idx].as_ref().expect("base computed");
+            let def = &all_defs[i];
+            let rel = compute_view(
+                env,
+                catalog,
+                base_rel,
+                &def.projection,
+                &packed_sort_cols(def.arity()),
+            )?;
+            relations[i] = Some(rel);
+        }
+
+        // Pack each tree.
+        let mut trees = Vec::with_capacity(plan.trees.len());
+        let mut fids = Vec::with_capacity(plan.trees.len());
+        let mut placements = Vec::with_capacity(all_defs.len());
+        for (t, spec) in plan.trees.iter().enumerate() {
+            let fid = env.create_file(&format!("cubetree-{t}"))?;
+            let infos: Vec<ViewInfo> = spec
+                .views
+                .iter()
+                .map(|id| {
+                    let def = all_defs.iter().find(|d| d.id == *id).unwrap();
+                    ViewInfo { view: id.0, arity: def.arity() as u8, agg: def.agg }
+                })
+                .collect();
+            let mut builder =
+                TreeBuilder::new(env.pool().clone(), fid, spec.dims, infos, format)?;
+            for id in &spec.views {
+                let idx = all_defs.iter().position(|d| d.id == *id).unwrap();
+                let rel = relations[idx].as_ref().expect("all views computed");
+                for r in 0..rel.len() {
+                    builder.push(id.0, Point::new(rel.key(r), spec.dims), &rel.states[r])?;
+                }
+                env.stats().add_tuples(rel.len() as u64);
+                placements.push(PlacedView {
+                    def: all_defs[idx].clone(),
+                    logical: logical[idx],
+                    tree: t,
+                });
+            }
+            trees.push(builder.finish()?);
+            fids.push(fid);
+        }
+        Ok(CubetreeForest { format, plan, trees, fids, placements, generation: 0 })
+    }
+
+    /// The mapping plan (for reports and tests).
+    pub fn plan(&self) -> &MappingPlan {
+        &self.plan
+    }
+
+    /// All placements (primaries and replicas).
+    pub fn placements(&self) -> &[PlacedView] {
+        &self.placements
+    }
+
+    /// The trees of the forest.
+    pub fn trees(&self) -> &[PackedRTree] {
+        &self.trees
+    }
+
+    /// One tree.
+    pub fn tree(&self, i: usize) -> &PackedRTree {
+        &self.trees[i]
+    }
+
+    /// Entries stored for a placement.
+    pub fn entries_of(&self, view: ViewId) -> u64 {
+        self.placements
+            .iter()
+            .find(|p| p.def.id == view)
+            .and_then(|p| self.trees[p.tree].view_extent(view.0))
+            .map_or(0, |(_, ext)| ext.entries)
+    }
+
+    /// Total allocated bytes across the forest's files.
+    pub fn storage_bytes(&self, env: &StorageEnv) -> u64 {
+        self.fids.iter().map(|&f| env.file_bytes(f)).sum()
+    }
+
+    /// Bulk-incremental refresh (paper Figure 15): computes each placement's
+    /// delta from the fact increment, then merge-packs every tree into a new
+    /// packed file with strictly sequential I/O. Old files are removed.
+    pub fn update(
+        &mut self,
+        env: &StorageEnv,
+        catalog: &Catalog,
+        delta_fact: &Relation,
+    ) -> Result<()> {
+        if delta_fact.has_retractions() {
+            if let Some(p) = self.placements.iter().find(|p| !p.def.agg.deletion_safe()) {
+                return Err(CtError::unsupported(format!(
+                    "delta contains deletions but view {:?} is materialized with {}, \
+                     which cannot absorb retractions; use a deletion-safe aggregate \
+                     (count, avg or sum+count)",
+                    p.def.id,
+                    p.def.agg.name()
+                )));
+            }
+        }
+        self.generation += 1;
+        for (t, spec) in self.plan.trees.clone().iter().enumerate() {
+            // Build the tree's merged delta stream: views in spec order
+            // (ascending arity) are globally packed-sorted.
+            let mut items: Vec<(u32, Point, ct_common::AggState)> = Vec::new();
+            for id in &spec.views {
+                let placement = self
+                    .placements
+                    .iter()
+                    .find(|p| p.def.id == *id)
+                    .expect("placement exists")
+                    .clone();
+                let rel = compute_view(
+                    env,
+                    catalog,
+                    delta_fact,
+                    &placement.def.projection,
+                    &packed_sort_cols(placement.def.arity()),
+                )?;
+                for r in 0..rel.len() {
+                    items.push((id.0, Point::new(rel.key(r), spec.dims), rel.states[r]));
+                }
+            }
+            env.stats().add_tuples(items.len() as u64);
+            let mut delta = VecStream::new(items);
+            let new_fid =
+                env.create_file(&format!("cubetree-{t}-gen{}", self.generation))?;
+            let infos: Vec<ViewInfo> =
+                self.trees[t].views().iter().map(|(info, _)| *info).collect();
+            let new_tree = merge_pack(
+                env.pool().clone(),
+                &self.trees[t],
+                &mut delta,
+                new_fid,
+                infos,
+                self.format,
+            )?;
+            let old_fid = self.fids[t];
+            self.trees[t] = new_tree;
+            self.fids[t] = new_fid;
+            env.remove_file(old_fid)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::AggFn;
+
+    fn setup() -> (StorageEnv, Catalog, Relation, Vec<ViewDef>, [AttrId; 3]) {
+        let env = StorageEnv::new("forest-unit").unwrap();
+        let mut cat = Catalog::new();
+        let p = cat.add_attr("p", 10);
+        let s = cat.add_attr("s", 4);
+        let c = cat.add_attr("c", 6);
+        let mut keys = Vec::new();
+        let mut measures = Vec::new();
+        let mut x = 3u64;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.extend_from_slice(&[x % 10 + 1, (x >> 17) % 4 + 1, (x >> 29) % 6 + 1]);
+            measures.push(((x >> 43) % 30) as i64 + 1);
+        }
+        let fact = Relation::from_fact(vec![p, s, c], keys, &measures);
+        let views = vec![
+            ViewDef::new(0, vec![p, s, c], AggFn::Sum),
+            ViewDef::new(1, vec![p, s], AggFn::Sum),
+            ViewDef::new(2, vec![c], AggFn::Sum),
+            ViewDef::new(3, vec![], AggFn::Sum),
+        ];
+        (env, cat, fact, views, [p, s, c])
+    }
+
+    #[test]
+    fn build_places_every_view_once() {
+        let (env, cat, fact, views, _) = setup();
+        let forest =
+            CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::ZeroElided)
+                .unwrap();
+        assert_eq!(forest.placements().len(), 4);
+        // Table-5 shape: one 3-dim tree holding everything (arities 0..3
+        // are all distinct).
+        assert_eq!(forest.trees().len(), 1);
+        assert_eq!(forest.plan().tree_count(), 1);
+        // Entry counts: none view has exactly one entry.
+        assert_eq!(forest.entries_of(ViewId(3)), 1);
+        assert!(forest.entries_of(ViewId(0)) >= forest.entries_of(ViewId(1)));
+        assert_eq!(forest.entries_of(ViewId(99)), 0, "unknown view has no entries");
+        assert!(forest.storage_bytes(&env) > 0);
+    }
+
+    #[test]
+    fn replicas_get_their_own_trees() {
+        let (env, cat, fact, views, [p, s, c]) = setup();
+        let replicas = vec![(ViewId(0), vec![s, c, p]), (ViewId(0), vec![c, p, s])];
+        let forest =
+            CubetreeForest::build(&env, &cat, &fact, &views, &replicas, LeafFormat::ZeroElided)
+                .unwrap();
+        assert_eq!(forest.placements().len(), 6);
+        assert_eq!(forest.trees().len(), 3, "three arity-3 placements need three trees");
+        // All replica placements answer for the logical top view.
+        let logical_top =
+            forest.placements().iter().filter(|pl| pl.logical == ViewId(0)).count();
+        assert_eq!(logical_top, 3);
+        // Replica contents are identical to the primary (same groups).
+        let primary = forest.entries_of(ViewId(0));
+        for pl in forest.placements() {
+            if pl.logical == ViewId(0) {
+                assert_eq!(forest.entries_of(pl.def.id), primary);
+            }
+        }
+    }
+
+    #[test]
+    fn replica_validation() {
+        let (env, cat, fact, views, [p, s, _]) = setup();
+        // Unknown base view.
+        let bad_base = vec![(ViewId(9), vec![p, s])];
+        assert!(CubetreeForest::build(&env, &cat, &fact, &views, &bad_base, LeafFormat::ZeroElided)
+            .is_err());
+        // Projection is not a permutation of the base.
+        let bad_proj = vec![(ViewId(0), vec![p, s])];
+        assert!(CubetreeForest::build(&env, &cat, &fact, &views, &bad_proj, LeafFormat::ZeroElided)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_fact_builds_empty_views() {
+        let (env, cat, _, views, [p, s, c]) = setup();
+        let empty = Relation::empty(vec![p, s, c]);
+        let forest =
+            CubetreeForest::build(&env, &cat, &empty, &views, &[], LeafFormat::ZeroElided)
+                .unwrap();
+        for v in 0..4u32 {
+            assert_eq!(forest.entries_of(ViewId(v)), 0);
+        }
+    }
+
+    #[test]
+    fn update_grows_entry_counts() {
+        let (env, cat, fact, views, [p, s, c]) = setup();
+        let mut forest =
+            CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::ZeroElided)
+                .unwrap();
+        let before = forest.entries_of(ViewId(0));
+        // A delta guaranteed to contain a brand-new group (keys at domain max).
+        let delta = Relation::from_fact(vec![p, s, c], vec![10, 4, 6], &[5]);
+        forest.update(&env, &cat, &delta).unwrap();
+        let after = forest.entries_of(ViewId(0));
+        assert!(after == before || after == before + 1);
+        assert_eq!(forest.entries_of(ViewId(3)), 1, "none view stays scalar");
+    }
+}

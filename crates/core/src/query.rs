@@ -1,0 +1,458 @@
+//! Slice-query planning and execution over a Cubetree forest, plus the
+//! rollup aggregation helper shared with the conventional engine.
+//!
+//! Planning follows the paper's observations in §3.3: a query may be
+//! answerable from several materialized views ("other parameters like the
+//! existence of an index … should be taken into account"). The planner
+//! scores every placement that *derives* the query's lattice node by the
+//! expected number of matching tuples, breaking ties toward the placement
+//! whose physical sort order has the longest prefix of sliced attributes —
+//! that is exactly what the paper's multi-sort-order replicas are for.
+
+use crate::forest::CubetreeForest;
+use ct_common::query::QueryRow;
+use ct_common::{
+    AggFn, AggState, AttrId, Catalog, CtError, Hierarchy, Rect, Result, SliceQuery, COORD_MAX,
+};
+use std::collections::HashMap;
+
+/// Streaming group-by aggregator with hierarchy rollup and residual
+/// predicate checking.
+///
+/// Feed it raw `(key, state)` pairs from any materialized source whose
+/// projection derives the query's attributes; it translates keys through
+/// dimension hierarchies, re-checks every predicate (cheap and safe — the
+/// access path may have already applied some), groups by the query's
+/// `group_by` list and merges aggregate states.
+pub struct RollupAggregator<'a> {
+    group_resolvers: Vec<(usize, Vec<&'a Hierarchy>)>,
+    pred_resolvers: Vec<((usize, Vec<&'a Hierarchy>), u64)>,
+    range_resolvers: Vec<((usize, Vec<&'a Hierarchy>), u64, u64)>,
+    groups: HashMap<Vec<u64>, AggState>,
+    accepted: u64,
+}
+
+impl<'a> RollupAggregator<'a> {
+    /// Creates an aggregator for `query` over rows whose key columns are
+    /// `source_attrs`.
+    ///
+    /// # Errors
+    /// [`CtError::Unsupported`] if a query attribute is not derivable from
+    /// `source_attrs`.
+    pub fn new(
+        catalog: &'a Catalog,
+        source_attrs: &[AttrId],
+        query: &SliceQuery,
+    ) -> Result<Self> {
+        let resolve = |target: AttrId| -> Result<(usize, Vec<&'a Hierarchy>)> {
+            let (src, path) = catalog.derivation_path(source_attrs, target).ok_or_else(|| {
+                CtError::unsupported(format!(
+                    "query attribute {} not derivable from the chosen view",
+                    catalog.attr(target).name
+                ))
+            })?;
+            let col = source_attrs.iter().position(|&a| a == src).expect("src in list");
+            Ok((col, path))
+        };
+        let group_resolvers =
+            query.group_by.iter().map(|&a| resolve(a)).collect::<Result<Vec<_>>>()?;
+        let pred_resolvers = query
+            .predicates
+            .iter()
+            .map(|&(a, v)| Ok((resolve(a)?, v)))
+            .collect::<Result<Vec<_>>>()?;
+        let range_resolvers = query
+            .ranges
+            .iter()
+            .map(|&(a, lo, hi)| Ok((resolve(a)?, lo, hi)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RollupAggregator {
+            group_resolvers,
+            pred_resolvers,
+            range_resolvers,
+            groups: HashMap::new(),
+            accepted: 0,
+        })
+    }
+
+    /// Offers one source row; rows failing a predicate are skipped.
+    pub fn accept(&mut self, key: &[u64], state: &AggState) {
+        for ((col, path), want) in &self.pred_resolvers {
+            let mut v = key[*col];
+            for h in path {
+                v = h.apply(v);
+            }
+            if v != *want {
+                return;
+            }
+        }
+        for ((col, path), lo, hi) in &self.range_resolvers {
+            let mut v = key[*col];
+            for h in path {
+                v = h.apply(v);
+            }
+            if v < *lo || v > *hi {
+                return;
+            }
+        }
+        let mut group = Vec::with_capacity(self.group_resolvers.len());
+        for (col, path) in &self.group_resolvers {
+            let mut v = key[*col];
+            for h in path {
+                v = h.apply(v);
+            }
+            group.push(v);
+        }
+        self.accepted += 1;
+        self.groups.entry(group).or_insert_with(AggState::identity).merge(state);
+    }
+
+    /// Rows that passed the predicates.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Finalizes the groups under aggregate `f`. For deletion-safe
+    /// aggregates, groups whose count reached zero were annihilated by
+    /// retractions and are omitted (the group no longer exists).
+    pub fn finish(self, f: AggFn) -> Vec<QueryRow> {
+        self.groups
+            .into_iter()
+            .filter(|(_, state)| !(f.deletion_safe() && state.is_annihilated()))
+            .map(|(key, state)| QueryRow { key, agg: state.finalize(f) })
+            .collect()
+    }
+}
+
+/// A planned access path into the forest.
+#[derive(Clone, Debug)]
+pub struct ForestPlan {
+    /// Index into [`CubetreeForest::placements`].
+    pub placement: usize,
+    /// Expected matching tuples (the paper's cost unit).
+    pub est_tuples: f64,
+    /// Length of the physical-sort-order prefix covered by predicates.
+    pub sort_prefix: usize,
+}
+
+/// Chooses the cheapest placement able to answer `q`.
+///
+/// # Errors
+/// [`CtError::Unsupported`] if no placement derives the query's node.
+pub fn plan_forest_query(
+    forest: &CubetreeForest,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<ForestPlan> {
+    let node = q.node();
+    let mut best: Option<ForestPlan> = None;
+    for (i, p) in forest.placements().iter().enumerate() {
+        if !catalog.derivable_from(&node, &p.def.projection) {
+            continue;
+        }
+        let entries = forest.entries_of(p.def.id) as f64;
+        // Selectivity from predicates on attributes the view stores
+        // directly; a bounded range contributes its span fraction.
+        let mut selectivity = 1.0f64;
+        for a in &p.def.projection {
+            if let Some((lo, hi)) = q.range_of(*a) {
+                let card = catalog.attr(*a).cardinality.max(1) as f64;
+                let span = (hi.saturating_sub(lo) + 1) as f64;
+                selectivity *= (card / span).max(1.0);
+            }
+        }
+        let est_tuples = (entries / selectivity).max(1.0);
+        // Physical sort order is the reversed projection (§2.3): count how
+        // many of its leading attributes the query pins; a bounded range
+        // keeps the run contiguous but ends the prefix.
+        let mut sort_prefix = 0usize;
+        for a in p.def.projection.iter().rev() {
+            match q.range_of(*a) {
+                Some((lo, hi)) if lo == hi => sort_prefix += 1,
+                Some(_) => {
+                    sort_prefix += 1;
+                    break;
+                }
+                None => break,
+            }
+        }
+        let candidate = ForestPlan { placement: i, est_tuples, sort_prefix };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (candidate.est_tuples, std::cmp::Reverse(candidate.sort_prefix))
+                    < (b.est_tuples, std::cmp::Reverse(b.sort_prefix))
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.ok_or_else(|| {
+        CtError::unsupported("no materialized view can answer this query".to_string())
+    })
+}
+
+/// Plans and executes `q` against the forest. `env` is charged the CPU
+/// tuple cost of the entries the search touches.
+pub fn execute_forest_query(
+    forest: &CubetreeForest,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<Vec<QueryRow>> {
+    let plan = plan_forest_query(forest, catalog, q)?;
+    let placement = &forest.placements()[plan.placement];
+    let tree = forest.tree(placement.tree);
+    let dims = tree.dims();
+    let arity = placement.def.arity();
+    // Region: direct predicates pin their axis, open attributes span
+    // [1, COORD_MAX], padding axes pin to 0 (paper Figure 4).
+    let mut lo = vec![0u64; dims];
+    let mut hi = vec![0u64; dims];
+    for (axis, attr) in placement.def.projection.iter().enumerate() {
+        match q.range_of(*attr) {
+            Some((l, h)) => {
+                lo[axis] = l.max(1);
+                hi[axis] = h.min(COORD_MAX);
+            }
+            None => {
+                lo[axis] = 1;
+                hi[axis] = COORD_MAX;
+            }
+        }
+    }
+    for axis in arity..dims {
+        lo[axis] = 0;
+        hi[axis] = 0;
+    }
+    let region = Rect::new(&lo, &hi);
+    let mut agg = RollupAggregator::new(catalog, &placement.def.projection, q)?;
+    let want = placement.def.id.0;
+    let mut touched = 0u64;
+    tree.search(&region, |view, point, state| {
+        touched += 1;
+        if view == want {
+            agg.accept(&point.coords()[..arity], state);
+        }
+        true
+    })?;
+    env.stats().add_tuples(touched);
+    Ok(agg.finish(placement.def.agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::ViewDef;
+    use ct_cube::Relation;
+    use ct_rtree::LeafFormat;
+    use ct_storage::StorageEnv;
+
+    /// Small warehouse: 3 fact attrs, views {psc, ps, c, none} + replicas.
+    fn setup() -> (StorageEnv, Catalog, CubetreeForest, [AttrId; 3]) {
+        let env = StorageEnv::new("forest-query").unwrap();
+        let mut cat = Catalog::new();
+        let p = cat.add_attr("partkey", 8);
+        let s = cat.add_attr("suppkey", 4);
+        let c = cat.add_attr("custkey", 6);
+        let mut keys = Vec::new();
+        let mut measures = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.extend_from_slice(&[x % 8 + 1, (x >> 13) % 4 + 1, (x >> 27) % 6 + 1]);
+            measures.push(((x >> 40) % 20) as i64 + 1);
+        }
+        let fact = Relation::from_fact(vec![p, s, c], keys, &measures);
+        let views = vec![
+            ViewDef::new(0, vec![p, s, c], ct_common::AggFn::Sum),
+            ViewDef::new(1, vec![p, s], ct_common::AggFn::Sum),
+            ViewDef::new(2, vec![c], ct_common::AggFn::Sum),
+            ViewDef::new(3, vec![], ct_common::AggFn::Sum),
+        ];
+        let replicas = vec![
+            (ct_common::ViewId(0), vec![s, c, p]),
+            (ct_common::ViewId(0), vec![c, p, s]),
+        ];
+        let forest = CubetreeForest::build(
+            &env,
+            &cat,
+            &fact,
+            &views,
+            &replicas,
+            LeafFormat::Compressed,
+        )
+        .unwrap();
+        (env, cat, forest, [p, s, c])
+    }
+
+    /// Brute-force reference answer straight from the fact relation.
+    fn reference(
+        fact: &Relation,
+        q: &SliceQuery,
+    ) -> Vec<QueryRow> {
+        let mut groups: HashMap<Vec<u64>, AggState> = HashMap::new();
+        'rows: for i in 0..fact.len() {
+            let key = fact.key(i);
+            for (a, v) in &q.predicates {
+                let col = fact.col_of(*a).unwrap();
+                if key[col] != *v {
+                    continue 'rows;
+                }
+            }
+            let g: Vec<u64> =
+                q.group_by.iter().map(|a| key[fact.col_of(*a).unwrap()]).collect();
+            groups.entry(g).or_insert_with(AggState::identity).merge(&fact.states[i]);
+        }
+        let mut rows: Vec<QueryRow> = groups
+            .into_iter()
+            .map(|(key, st)| QueryRow { key, agg: st.finalize(AggFn::Sum) })
+            .collect();
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        rows
+    }
+
+    fn fact_of(env: &StorageEnv) -> Relation {
+        // Regenerate the same fact data the setup used.
+        let _ = env;
+        let mut keys = Vec::new();
+        let mut measures = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.extend_from_slice(&[x % 8 + 1, (x >> 13) % 4 + 1, (x >> 27) % 6 + 1]);
+            measures.push(((x >> 40) % 20) as i64 + 1);
+        }
+        Relation::from_fact(vec![AttrId(0), AttrId(1), AttrId(2)], keys, &measures)
+    }
+
+    #[test]
+    fn exact_view_slice_matches_reference() {
+        let (env, cat, forest, [p, s, _]) = setup();
+        let fact = fact_of(&env);
+        let q = SliceQuery::new(vec![s], vec![(p, 3)]);
+        let mut got = execute_forest_query(&forest, &env, &cat, &q).unwrap();
+        got.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(got, reference(&fact, &q));
+    }
+
+    #[test]
+    fn unmaterialized_node_answered_by_rollup() {
+        let (env, cat, forest, [p, s, c]) = setup();
+        let fact = fact_of(&env);
+        // Node {p, c} is not materialized; must roll up from psc (a replica).
+        let q = SliceQuery::new(vec![p], vec![(c, 2)]);
+        let mut got = execute_forest_query(&forest, &env, &cat, &q).unwrap();
+        got.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(got, reference(&fact, &q));
+        let _ = s;
+    }
+
+    #[test]
+    fn planner_prefers_replica_with_matching_sort_order() {
+        let (_env, cat, forest, [p, s, c]) = setup();
+        // Slice on partkey: the replica with projection (s,c,p) sorts by
+        // (p,c,s), so partkey is its leading sort attribute.
+        let q = SliceQuery::new(vec![s, c], vec![(p, 1)]);
+        let plan = plan_forest_query(&forest, &cat, &q).unwrap();
+        let chosen = &forest.placements()[plan.placement].def;
+        assert_eq!(
+            *chosen.projection.last().unwrap(),
+            p,
+            "expected a placement whose last (leading-sort) attribute is partkey, got {:?}",
+            chosen.projection
+        );
+        assert_eq!(plan.sort_prefix, 1);
+    }
+
+    #[test]
+    fn planner_prefers_small_exact_view() {
+        let (_env, cat, forest, [_, _, c]) = setup();
+        let q = SliceQuery::new(vec![], vec![(c, 4)]);
+        let plan = plan_forest_query(&forest, &cat, &q).unwrap();
+        let chosen = &forest.placements()[plan.placement].def;
+        assert_eq!(chosen.projection, vec![c], "V{{c}} is the cheapest source");
+    }
+
+    #[test]
+    fn none_view_scalar_query() {
+        let (env, cat, forest, _) = setup();
+        let fact = fact_of(&env);
+        let q = SliceQuery::new(vec![], vec![]);
+        let got = execute_forest_query(&forest, &env, &cat, &q).unwrap();
+        assert_eq!(got.len(), 1);
+        let expect: i64 = fact.states.iter().map(|s| s.sum).sum();
+        assert_eq!(got[0].agg, expect as f64);
+        // And the planner must have used the 1-row none view.
+        let plan = plan_forest_query(&forest, &cat, &q).unwrap();
+        assert!(forest.placements()[plan.placement].def.projection.is_empty());
+    }
+
+    #[test]
+    fn every_slice_type_matches_reference() {
+        let (env, cat, forest, attrs) = setup();
+        let fact = fact_of(&env);
+        // All 27 slice types of the 3-attr lattice, with fixed values 1..2.
+        for node_mask in 0..8usize {
+            let node: Vec<AttrId> =
+                (0..3).filter(|i| node_mask & (1 << i) != 0).map(|i| attrs[i]).collect();
+            for fix_mask in 0..(1 << node.len()) {
+                let mut group_by = Vec::new();
+                let mut predicates = Vec::new();
+                for (j, &a) in node.iter().enumerate() {
+                    if fix_mask & (1 << j) != 0 {
+                        predicates.push((a, (j as u64 % 2) + 1));
+                    } else {
+                        group_by.push(a);
+                    }
+                }
+                let q = SliceQuery::new(group_by, predicates);
+                let mut got = execute_forest_query(&forest, &env, &cat, &q).unwrap();
+                got.sort_by(|a, b| a.key.cmp(&b.key));
+                assert_eq!(got, reference(&fact, &q), "query {:?}", q.display(&cat));
+            }
+        }
+    }
+
+    #[test]
+    fn update_then_query_reflects_delta() {
+        let (env, cat, mut forest, [p, s, c]) = setup();
+        let fact = fact_of(&env);
+        // Delta: 50 rows over the same key space.
+        let mut keys = Vec::new();
+        let mut measures = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..50 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            keys.extend_from_slice(&[x % 8 + 1, (x >> 17) % 4 + 1, (x >> 29) % 6 + 1]);
+            measures.push(((x >> 45) % 9) as i64 + 1);
+        }
+        let delta = Relation::from_fact(vec![p, s, c], keys.clone(), &measures);
+        forest.update(&env, &cat, &delta).unwrap();
+        // Reference over fact ∪ delta.
+        let mut combined_keys = fact.keys.clone();
+        combined_keys.extend_from_slice(&keys);
+        let mut combined_measures: Vec<i64> = fact.states.iter().map(|st| st.sum).collect();
+        combined_measures.extend_from_slice(&measures);
+        let combined = Relation::from_fact(vec![p, s, c], combined_keys, &combined_measures);
+        for q in [
+            SliceQuery::new(vec![s], vec![(p, 1)]),
+            SliceQuery::new(vec![], vec![]),
+            SliceQuery::new(vec![p], vec![(c, 3)]),
+            SliceQuery::new(vec![], vec![(c, 5)]),
+        ] {
+            let mut got = execute_forest_query(&forest, &env, &cat, &q).unwrap();
+            got.sort_by(|a, b| a.key.cmp(&b.key));
+            assert_eq!(got, reference(&combined, &q), "query {:?}", q.display(&cat));
+        }
+    }
+
+    #[test]
+    fn underivable_query_is_rejected() {
+        let (_env, mut cat, forest, _) = setup();
+        let alien = cat.add_attr("alien", 5);
+        let q = SliceQuery::new(vec![alien], vec![]);
+        assert!(plan_forest_query(&forest, &cat, &q).is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! 1-greedy view **and** index selection (\[GHRU97\]; paper §3).
+//!
+//! "This algorithm computes the cost of answering a query q as the total
+//! number of tuples that have to be accessed on every table and index that is
+//! used to answer q. At every step the algorithm picks a view or an index
+//! that gives the greatest benefit" (paper §3). The workload is the uniform
+//! slice-query family over the lattice: for every node `W`, all `2^|W|`
+//! subsets of `W` as the fixed (equality-sliced) attributes.
+//!
+//! Cost model, per \[GHRU97\]:
+//! * the fact table is always available at cost `fact_rows` (full scan);
+//! * a materialized view `V ⊇ W` answers `q` at cost `|V|` (scan), or — via a
+//!   selected B-tree index on `V` — at `|V| / Π card(a)` over the longest
+//!   index-key prefix of fixed attributes (expected matching tuples, ≥ 1);
+//! * index candidates are the cyclic rotations of a view's attribute list,
+//!   which is exactly the shape of the paper's selected set
+//!   `I = {I(c,s,p), I(p,c,s), I(s,p,c)}`.
+//!
+//! Because an index is worthless without its view and a large view nearly
+//! worthless without an index, a view candidate's benefit is evaluated
+//! *jointly* with its best single index (the view–index interdependence
+//! \[GHRU97\] addresses); only the view is added in that step — the index then
+//! wins a later step on its own enormous standalone benefit.
+
+use crate::lattice::Lattice;
+use ct_common::{AttrId, Catalog};
+
+/// A selectable physical structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// Materialize the view of lattice node `node`.
+    View {
+        /// Lattice node mask.
+        node: usize,
+    },
+    /// A B-tree index on node `node`'s view with key order `order`.
+    Index {
+        /// Lattice node mask (must be a selected view).
+        node: usize,
+        /// Concatenated key order.
+        order: Vec<AttrId>,
+    },
+}
+
+/// Tuning knobs for the selection.
+#[derive(Clone, Debug)]
+pub struct GreedyConfig {
+    /// Total tuple-space budget across selected structures (`u64::MAX` for
+    /// unbounded).
+    pub space_budget: u64,
+    /// Hard cap on the number of structures.
+    pub max_structures: usize,
+    /// Stop when the best remaining benefit falls below this.
+    pub min_benefit: f64,
+    /// Include the no-predicate (whole view) query types in the workload.
+    pub include_full_view_queries: bool,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            space_budget: u64::MAX,
+            max_structures: 16,
+            min_benefit: 1.0,
+            include_full_view_queries: true,
+        }
+    }
+}
+
+/// The selection outcome.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyResult {
+    /// Every pick in selection order with its benefit at pick time.
+    pub picks: Vec<(Structure, f64)>,
+    /// Selected view nodes (lattice masks) in pick order.
+    pub views: Vec<usize>,
+    /// Selected indexes `(node, key order)` in pick order.
+    pub indexes: Vec<(usize, Vec<AttrId>)>,
+    /// Space consumed, in tuples.
+    pub space_used: u64,
+}
+
+impl GreedyResult {
+    /// The selected views as attribute lists.
+    pub fn view_attr_sets(&self, lattice: &Lattice) -> Vec<Vec<AttrId>> {
+        self.views.iter().map(|&m| lattice.nodes[m].attrs.clone()).collect()
+    }
+}
+
+/// One workload query: slice on `node` with `fixed ⊆ node` pinned.
+#[derive(Clone, Copy, Debug)]
+struct Query {
+    node: usize,
+    fixed: usize,
+    weight: f64,
+}
+
+/// Runs the 1-greedy selection over `lattice` (whose node sizes must be
+/// filled in) for a fact table of `fact_rows` rows.
+pub fn one_greedy(
+    catalog: &Catalog,
+    lattice: &Lattice,
+    fact_rows: u64,
+    config: &GreedyConfig,
+) -> GreedyResult {
+    let queries = build_workload(lattice, config);
+    let mut state = State {
+        catalog,
+        lattice,
+        fact_rows: fact_rows as f64,
+        views: Vec::new(),
+        indexes: Vec::new(),
+    };
+    let mut result = GreedyResult::default();
+    let mut current_cost: Vec<f64> = queries.iter().map(|q| state.query_cost(q)).collect();
+
+    while result.picks.len() < config.max_structures {
+        let mut best: Option<(Structure, f64, u64)> = None;
+        // View candidates: unselected nodes (including the scalar `none`
+        // node, mask 0), evaluated jointly with their best single rotation
+        // index.
+        for node in 0..lattice.len() {
+            if state.views.contains(&node) {
+                continue;
+            }
+            let space = lattice.nodes[node].size;
+            if result.space_used.saturating_add(space) > config.space_budget {
+                continue;
+            }
+            let benefit = state.view_benefit_with_lookahead(node, &queries, &current_cost);
+            if benefit > config.min_benefit
+                && best.as_ref().map_or(true, |(_, b, _)| benefit > *b)
+            {
+                best = Some((Structure::View { node }, benefit, space));
+            }
+        }
+        // Index candidates: rotations over selected views.
+        for &node in &state.views {
+            let space = lattice.nodes[node].size;
+            if result.space_used.saturating_add(space) > config.space_budget {
+                continue;
+            }
+            for order in rotations(&lattice.nodes[node].attrs) {
+                if state.indexes.iter().any(|(n, o)| *n == node && *o == order) {
+                    continue;
+                }
+                let benefit = state.index_benefit(node, &order, &queries, &current_cost);
+                if benefit > config.min_benefit
+                    && best.as_ref().map_or(true, |(_, b, _)| benefit > *b)
+                {
+                    best = Some((Structure::Index { node, order }, benefit, space));
+                }
+            }
+        }
+        let Some((structure, benefit, space)) = best else { break };
+        match &structure {
+            Structure::View { node } => {
+                state.views.push(*node);
+                result.views.push(*node);
+            }
+            Structure::Index { node, order } => {
+                state.indexes.push((*node, order.clone()));
+                result.indexes.push((*node, order.clone()));
+            }
+        }
+        result.space_used += space;
+        result.picks.push((structure, benefit));
+        for (i, q) in queries.iter().enumerate() {
+            current_cost[i] = current_cost[i].min(state.query_cost(q));
+        }
+    }
+    result
+}
+
+/// All cyclic rotations of an attribute list (the \[GHRU97\] "fat index"
+/// candidates: one ordering starting with each attribute).
+pub fn rotations(attrs: &[AttrId]) -> Vec<Vec<AttrId>> {
+    let k = attrs.len();
+    (0..k)
+        .map(|r| (0..k).map(|i| attrs[(r + i) % k]).collect())
+        .collect()
+}
+
+fn build_workload(lattice: &Lattice, config: &GreedyConfig) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for node in 0..lattice.len() {
+        let k = node.count_ones() as usize;
+        let types = 1usize << k;
+        // Equal total weight per lattice node, split across its query types
+        // (the paper's generator draws views uniformly, then types uniformly).
+        let mut node_queries = Vec::new();
+        for fixed_bits in 0..types {
+            let fixed = spread_bits(fixed_bits, node);
+            if !config.include_full_view_queries && fixed == 0 {
+                continue;
+            }
+            node_queries.push(fixed);
+        }
+        let w = 1.0 / node_queries.len().max(1) as f64;
+        for fixed in node_queries {
+            queries.push(Query { node, fixed, weight: w });
+        }
+    }
+    queries
+}
+
+/// Spreads the low bits of `compact` onto the set bits of `mask`.
+fn spread_bits(mut compact: usize, mask: usize) -> usize {
+    let mut out = 0usize;
+    let mut m = mask;
+    while m != 0 {
+        let bit = m & m.wrapping_neg();
+        if compact & 1 != 0 {
+            out |= bit;
+        }
+        compact >>= 1;
+        m &= m - 1;
+    }
+    out
+}
+
+struct State<'a> {
+    catalog: &'a Catalog,
+    lattice: &'a Lattice,
+    fact_rows: f64,
+    views: Vec<usize>,
+    indexes: Vec<(usize, Vec<AttrId>)>,
+}
+
+impl State<'_> {
+    /// Cheapest way to answer `q` with the current structures.
+    fn query_cost(&self, q: &Query) -> f64 {
+        let mut best = self.fact_rows; // fact scan is always possible
+        for &v in &self.views {
+            if self.lattice.derives(q.node, v) {
+                best = best.min(self.cost_via_view(q, v, None));
+                for (n, order) in &self.indexes {
+                    if *n == v {
+                        best = best.min(self.cost_via_view(q, v, Some(order)));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Cost of answering `q` by scanning view `v`, optionally through an
+    /// index with the given key order.
+    fn cost_via_view(&self, q: &Query, v: usize, index_order: Option<&[AttrId]>) -> f64 {
+        let size = self.lattice.nodes[v].size as f64;
+        let Some(order) = index_order else { return size };
+        let mut selectivity = 1.0f64;
+        for a in order {
+            let bit = match self.lattice.mask_of(std::slice::from_ref(a)) {
+                Some(b) => b,
+                None => break,
+            };
+            if q.fixed & bit != 0 {
+                selectivity *= self.catalog.attr(*a).cardinality.max(1) as f64;
+            } else {
+                break; // prefix ends at the first non-fixed attribute
+            }
+        }
+        (size / selectivity).max(1.0)
+    }
+
+    /// Benefit of materializing `node`, evaluated jointly with the best
+    /// single rotation index on it (only the view is actually added).
+    fn view_benefit_with_lookahead(
+        &self,
+        node: usize,
+        queries: &[Query],
+        current: &[f64],
+    ) -> f64 {
+        let orders = rotations(&self.lattice.nodes[node].attrs);
+        let mut best = 0.0f64;
+        // View alone...
+        best = best.max(self.benefit_of(node, None, queries, current));
+        // ...or view + one index.
+        for order in &orders {
+            best = best.max(self.benefit_of(node, Some(order), queries, current));
+        }
+        best
+    }
+
+    fn index_benefit(
+        &self,
+        node: usize,
+        order: &[AttrId],
+        queries: &[Query],
+        current: &[f64],
+    ) -> f64 {
+        self.benefit_of(node, Some(order), queries, current)
+    }
+
+    fn benefit_of(
+        &self,
+        node: usize,
+        order: Option<&[AttrId]>,
+        queries: &[Query],
+        current: &[f64],
+    ) -> f64 {
+        let mut total = 0.0;
+        for (i, q) in queries.iter().enumerate() {
+            if !self.lattice.derives(q.node, node) {
+                continue;
+            }
+            let mut new_cost = self.cost_via_view(q, node, None);
+            if let Some(order) = order {
+                new_cost = new_cost.min(self.cost_via_view(q, node, Some(order)));
+            }
+            if new_cost < current[i] {
+                total += q.weight * (current[i] - new_cost);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// TPC-D SF-1 statistics (paper §3.2): 6,001,215 fact rows; measured
+    /// view sizes consistent with the total of 7,110,464 view tuples.
+    fn tpcd_lattice() -> (Catalog, Lattice, [AttrId; 3]) {
+        let mut c = Catalog::new();
+        let p = c.add_attr("partkey", 200_000);
+        let s = c.add_attr("suppkey", 10_000);
+        let cu = c.add_attr("custkey", 150_000);
+        let mut l = Lattice::new(vec![p, s, cu]);
+        let set = |l: &mut Lattice, attrs: &[AttrId], size: u64| {
+            let m = l.mask_of(attrs).unwrap();
+            l.set_size(m, size);
+        };
+        set(&mut l, &[], 1);
+        set(&mut l, &[p], 200_000);
+        set(&mut l, &[s], 10_000);
+        set(&mut l, &[cu], 150_000);
+        set(&mut l, &[p, s], 799_541);
+        set(&mut l, &[p, cu], 5_993_105);
+        set(&mut l, &[s, cu], 5_989_120);
+        set(&mut l, &[p, s, cu], 5_950_922);
+        (c, l, [p, s, cu])
+    }
+
+    #[test]
+    fn rotations_shape() {
+        let a = AttrId(0);
+        let b = AttrId(1);
+        let c = AttrId(2);
+        assert_eq!(rotations(&[a, b, c]), vec![vec![a, b, c], vec![b, c, a], vec![c, a, b]]);
+        assert_eq!(rotations(&[a]), vec![vec![a]]);
+        assert!(rotations(&[]).is_empty());
+    }
+
+    #[test]
+    fn spread_bits_maps_compact_to_mask() {
+        assert_eq!(spread_bits(0b11, 0b101), 0b101);
+        assert_eq!(spread_bits(0b01, 0b101), 0b001);
+        assert_eq!(spread_bits(0b10, 0b101), 0b100);
+        assert_eq!(spread_bits(0, 0b111), 0);
+    }
+
+    #[test]
+    fn reproduces_paper_selected_sets() {
+        // Paper §3: V = {psc, ps, c, s, p, none},
+        //           I = {I(c,s,p), I(p,c,s), I(s,p,c)} — the three rotations
+        // on the top view.
+        let (c, l, [p, s, cu]) = tpcd_lattice();
+        let config = GreedyConfig { max_structures: 9, ..Default::default() };
+        let r = one_greedy(&c, &l, 6_001_215, &config);
+        let views: std::collections::BTreeSet<usize> = r.views.iter().copied().collect();
+        let expect: std::collections::BTreeSet<usize> = [
+            l.mask_of(&[p, s, cu]).unwrap(),
+            l.mask_of(&[p, s]).unwrap(),
+            l.mask_of(&[cu]).unwrap(),
+            l.mask_of(&[s]).unwrap(),
+            l.mask_of(&[p]).unwrap(),
+            l.mask_of(&[]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(views, expect, "selected views must match the paper's V");
+        assert!(!views.contains(&l.mask_of(&[p, cu]).unwrap()), "pc must not be materialized");
+        assert!(!views.contains(&l.mask_of(&[s, cu]).unwrap()), "sc must not be materialized");
+        // All selected indexes sit on the top view, covering all rotations.
+        let top = l.mask_of(&[p, s, cu]).unwrap();
+        assert_eq!(r.indexes.len(), 3, "indexes {:?}", r.indexes);
+        assert!(r.indexes.iter().all(|(n, _)| *n == top));
+        let firsts: std::collections::BTreeSet<AttrId> =
+            r.indexes.iter().map(|(_, o)| o[0]).collect();
+        assert_eq!(firsts.len(), 3, "one rotation starting with each attribute");
+    }
+
+    #[test]
+    fn budget_limits_selection() {
+        let (c, l, _) = tpcd_lattice();
+        let config = GreedyConfig {
+            space_budget: 400_000, // can't afford any big structure
+            max_structures: 20,
+            ..Default::default()
+        };
+        let r = one_greedy(&c, &l, 6_001_215, &config);
+        assert!(r.space_used <= 400_000);
+        assert!(!r.views.is_empty(), "small views still fit");
+        for &v in &r.views {
+            assert!(l.nodes[v].size <= 400_000);
+        }
+    }
+
+    #[test]
+    fn zero_structures_when_budget_zero() {
+        let (c, l, _) = tpcd_lattice();
+        let config = GreedyConfig { space_budget: 0, ..Default::default() };
+        let r = one_greedy(&c, &l, 6_001_215, &config);
+        assert!(r.picks.is_empty());
+    }
+
+    #[test]
+    fn benefits_are_monotonically_nonincreasing() {
+        let (c, l, _) = tpcd_lattice();
+        let config = GreedyConfig { max_structures: 9, ..Default::default() };
+        let r = one_greedy(&c, &l, 6_001_215, &config);
+        for w in r.picks.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1 - 1e-6,
+                "greedy benefits must not increase: {:?}",
+                r.picks
+            );
+        }
+    }
+}

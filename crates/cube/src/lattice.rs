@@ -1,0 +1,164 @@
+//! The Data Cube lattice (\[HRU96\]; paper Figure 9).
+//!
+//! For a set of `k` base group-by attributes, the lattice has `2^k` nodes,
+//! one per attribute subset; node `A` *derives from* node `B` when `A ⊆ B`.
+//! The paper's TPC-D experiment uses the three-attribute lattice over
+//! `{partkey, suppkey, custkey}` (8 nodes, 27 slice-query types).
+
+use ct_common::AttrId;
+
+/// One lattice node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatticeNode {
+    /// The node's attribute set, sorted by `AttrId` (canonical form).
+    pub attrs: Vec<AttrId>,
+    /// Estimated or measured number of groups ("size" in \[HRU96\]).
+    pub size: u64,
+}
+
+/// The full cube lattice over a base attribute set.
+#[derive(Clone, Debug)]
+pub struct Lattice {
+    /// Base attributes, sorted.
+    pub base: Vec<AttrId>,
+    /// Nodes indexed by bitmask over `base` (node `m` contains attribute `i`
+    /// iff bit `i` of `m` is set). `nodes[0]` is the `none` node;
+    /// `nodes[2^k - 1]` is the top view.
+    pub nodes: Vec<LatticeNode>,
+}
+
+impl Lattice {
+    /// Builds the lattice skeleton (sizes zeroed).
+    ///
+    /// # Panics
+    /// Panics for more than 16 base attributes (the lattice is exponential).
+    pub fn new(mut base: Vec<AttrId>) -> Self {
+        assert!(base.len() <= 16, "lattice over {} attrs is unreasonable", base.len());
+        base.sort();
+        base.dedup();
+        let k = base.len();
+        let nodes = (0..1usize << k)
+            .map(|mask| LatticeNode { attrs: Self::attrs_of_mask(&base, mask), size: 0 })
+            .collect();
+        Lattice { base, nodes }
+    }
+
+    fn attrs_of_mask(base: &[AttrId], mask: usize) -> Vec<AttrId> {
+        base.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &a)| a).collect()
+    }
+
+    /// Number of nodes (`2^k`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for the degenerate zero-attribute lattice.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Bitmask of an attribute set, if all attributes belong to the base.
+    pub fn mask_of(&self, attrs: &[AttrId]) -> Option<usize> {
+        let mut mask = 0usize;
+        for a in attrs {
+            let i = self.base.iter().position(|b| b == a)?;
+            mask |= 1 << i;
+        }
+        Some(mask)
+    }
+
+    /// Node index of the top view (all attributes).
+    pub fn top(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True if node `child` derives from node `parent` (subset relation).
+    pub fn derives(&self, child: usize, parent: usize) -> bool {
+        child & parent == child
+    }
+
+    /// Immediate parents of a node (one more attribute).
+    pub fn parents(&self, node: usize) -> Vec<usize> {
+        (0..self.base.len())
+            .filter(|i| node & (1 << i) == 0)
+            .map(|i| node | (1 << i))
+            .collect()
+    }
+
+    /// All ancestors (strict supersets), any distance.
+    pub fn ancestors(&self, node: usize) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&m| m != node && self.derives(node, m)).collect()
+    }
+
+    /// Number of slice-query types over the whole lattice: `Σ 2^|W|` over
+    /// all nodes including `none` — the paper's "total number of slice
+    /// queries is 27" for 3 dimensions (`8 + 3·4 + 3·2 + 1`).
+    pub fn total_query_types(&self) -> usize {
+        (0..self.nodes.len()).map(|m| 1usize << (m.count_ones() as usize)).sum()
+    }
+
+    /// Sets a node's size.
+    pub fn set_size(&mut self, node: usize, size: u64) {
+        self.nodes[node].size = size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l3() -> Lattice {
+        Lattice::new(vec![AttrId(0), AttrId(1), AttrId(2)])
+    }
+
+    #[test]
+    fn three_dim_lattice_matches_paper_figure_9() {
+        let l = l3();
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.nodes[0].attrs, vec![]);
+        assert_eq!(l.nodes[7].attrs, vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(l.top(), 7);
+        // "the total number of slice queries is 27" (§3.1)
+        assert_eq!(l.total_query_types(), 27);
+    }
+
+    #[test]
+    fn derives_is_subset() {
+        let l = l3();
+        let ps = l.mask_of(&[AttrId(0), AttrId(1)]).unwrap();
+        let p = l.mask_of(&[AttrId(0)]).unwrap();
+        let c = l.mask_of(&[AttrId(2)]).unwrap();
+        assert!(l.derives(p, ps));
+        assert!(l.derives(p, l.top()));
+        assert!(!l.derives(ps, p));
+        assert!(!l.derives(c, ps));
+        assert!(l.derives(0, c), "none derives from everything");
+    }
+
+    #[test]
+    fn parents_and_ancestors() {
+        let l = l3();
+        let p = l.mask_of(&[AttrId(0)]).unwrap();
+        let parents = l.parents(p);
+        assert_eq!(parents.len(), 2);
+        assert!(parents.contains(&l.mask_of(&[AttrId(0), AttrId(1)]).unwrap()));
+        assert!(parents.contains(&l.mask_of(&[AttrId(0), AttrId(2)]).unwrap()));
+        assert_eq!(l.ancestors(p).len(), 3);
+        assert_eq!(l.ancestors(l.top()), vec![]);
+        assert_eq!(l.parents(l.top()), vec![]);
+    }
+
+    #[test]
+    fn mask_of_unknown_attr_is_none() {
+        let l = l3();
+        assert_eq!(l.mask_of(&[AttrId(9)]), None);
+        assert_eq!(l.mask_of(&[]), Some(0));
+    }
+
+    #[test]
+    fn base_is_canonicalized() {
+        let l = Lattice::new(vec![AttrId(2), AttrId(0), AttrId(2), AttrId(1)]);
+        assert_eq!(l.base, vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(l.len(), 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Smallest-parent computation planning (paper Figure 10; \[AAD+96\]).
+//!
+//! Computing every view directly from the fact table wastes work: the paper
+//! computes "each view from the smallest parent". Given the requested views
+//! with size estimates, the planner orders them by decreasing size and
+//! assigns each the cheapest already-available source (the fact table or a
+//! previously planned view) that *derives* it.
+
+use ct_common::{Catalog, CtError, Result, ViewDef};
+
+/// Where a view's input comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Compute from the raw fact relation.
+    Fact,
+    /// Compute from a previously computed view (index into the request list).
+    View(usize),
+}
+
+/// One computation step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index of the view (into the request list) being computed.
+    pub target: usize,
+    /// Input relation.
+    pub source: PlanSource,
+}
+
+/// An ordered computation plan: executing steps in order guarantees every
+/// `View(i)` source has already been produced.
+#[derive(Clone, Debug, Default)]
+pub struct ComputePlan {
+    /// Steps in execution order.
+    pub steps: Vec<PlanStep>,
+}
+
+/// Plans the computation of `views` given per-view size estimates (same
+/// indexing) and the fact-table size.
+///
+/// # Errors
+/// [`CtError::Unsupported`] if some view cannot be derived from the fact
+/// schema at all.
+pub fn plan_computation(
+    catalog: &Catalog,
+    fact_attrs: &[ct_common::AttrId],
+    fact_size: u64,
+    views: &[ViewDef],
+    sizes: &[u64],
+) -> Result<ComputePlan> {
+    assert_eq!(views.len(), sizes.len(), "one size estimate per view");
+    // Largest views first: they can only come from the fact table or other
+    // large views, and once computed they become cheap sources for the rest.
+    let mut order: Vec<usize> = (0..views.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse((sizes[i], views[i].arity())));
+
+    let mut steps = Vec::with_capacity(views.len());
+    let mut available: Vec<usize> = Vec::new(); // indices already planned
+    for &i in &order {
+        let target = &views[i].projection;
+        if !catalog.derivable_from(target, fact_attrs) {
+            return Err(CtError::unsupported(format!(
+                "view {} is not derivable from the fact table",
+                views[i].display_name(catalog)
+            )));
+        }
+        let mut best = (fact_size, PlanSource::Fact);
+        for &j in &available {
+            if sizes[j] < best.0 && catalog.derivable_from(target, &views[j].projection) {
+                best = (sizes[j], PlanSource::View(j));
+            }
+        }
+        steps.push(PlanStep { target: i, source: best.1 });
+        available.push(i);
+    }
+    Ok(ComputePlan { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::{AggFn, AttrId, Catalog};
+
+    fn setup() -> (Catalog, [AttrId; 3]) {
+        let mut c = Catalog::new();
+        let p = c.add_attr("partkey", 200_000);
+        let s = c.add_attr("suppkey", 10_000);
+        let cu = c.add_attr("custkey", 150_000);
+        (c, [p, s, cu])
+    }
+
+    #[test]
+    fn paper_dependency_graph() {
+        // Paper Figure 10: psc from fact; ps from psc; p from ps; s from ps;
+        // c from psc; none from the smallest single-attr view.
+        let (c, [p, s, cu]) = setup();
+        let views = vec![
+            ViewDef::new(0, vec![p, s, cu], AggFn::Sum),
+            ViewDef::new(1, vec![p, s], AggFn::Sum),
+            ViewDef::new(2, vec![cu], AggFn::Sum),
+            ViewDef::new(3, vec![s], AggFn::Sum),
+            ViewDef::new(4, vec![p], AggFn::Sum),
+            ViewDef::new(5, vec![], AggFn::Sum),
+        ];
+        let sizes = vec![5_970_000, 800_000, 150_000, 10_000, 200_000, 1];
+        let plan =
+            plan_computation(&c, &[p, s, cu], 6_001_215, &views, &sizes).unwrap();
+        assert_eq!(plan.steps.len(), 6);
+        let source_of = |target: usize| {
+            plan.steps.iter().find(|st| st.target == target).unwrap().source
+        };
+        assert_eq!(source_of(0), PlanSource::Fact);
+        assert_eq!(source_of(1), PlanSource::View(0), "ps from psc");
+        assert_eq!(source_of(2), PlanSource::View(0), "c only derivable from psc");
+        assert_eq!(source_of(4), PlanSource::View(1), "p from ps");
+        assert_eq!(source_of(3), PlanSource::View(1), "s from ps");
+        assert_eq!(source_of(5), PlanSource::View(3), "none from smallest view");
+        // Execution order respects dependencies.
+        let mut produced = Vec::new();
+        for st in &plan.steps {
+            if let PlanSource::View(j) = st.source {
+                assert!(produced.contains(&j), "source {j} not yet produced");
+            }
+            produced.push(st.target);
+        }
+    }
+
+    #[test]
+    fn underivable_view_is_rejected() {
+        let (mut c, [p, s, _]) = setup();
+        let other = c.add_attr("orderdate", 2_000);
+        let views = vec![ViewDef::new(0, vec![other], AggFn::Sum)];
+        assert!(plan_computation(&c, &[p, s], 100, &views, &[10]).is_err());
+    }
+
+    #[test]
+    fn empty_request_plans_nothing() {
+        let (c, [p, s, cu]) = setup();
+        let plan = plan_computation(&c, &[p, s, cu], 100, &[], &[]).unwrap();
+        assert!(plan.steps.is_empty());
+    }
+}

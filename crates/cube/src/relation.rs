@@ -1,0 +1,143 @@
+//! In-memory columnar relations carrying mergeable aggregate states.
+//!
+//! A [`Relation`] is the transfer format between pipeline stages: the raw
+//! fact table (one state per source row), a computed view (one state per
+//! group), or a delta of either. The physical engines consume relations to
+//! build their storage structures.
+
+use ct_common::{AggState, AttrId};
+
+/// A relation of `arity` key columns plus one aggregate state per row.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    /// Column schema (group-by attributes, in projection order).
+    pub attrs: Vec<AttrId>,
+    /// Row keys, `attrs.len()`-strided.
+    pub keys: Vec<u64>,
+    /// One aggregate state per row.
+    pub states: Vec<AggState>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(attrs: Vec<AttrId>) -> Self {
+        Relation { attrs, keys: Vec::new(), states: Vec::new() }
+    }
+
+    /// Builds the fact relation: each row gets a fresh state from its
+    /// measure.
+    pub fn from_fact(attrs: Vec<AttrId>, keys: Vec<u64>, measures: &[i64]) -> Self {
+        let arity = attrs.len();
+        assert_eq!(keys.len(), measures.len() * arity, "key/measure length mismatch");
+        let states = measures.iter().map(|&m| AggState::from_measure(m)).collect();
+        Relation { attrs, keys, states }
+    }
+
+    /// Builds a *change* relation mixing insertions and deletions:
+    /// `deleted[i]` marks row `i` as a retraction of a previously loaded fact
+    /// row with the same key and measure (\[GL95\]-style counting
+    /// maintenance). Engines only accept retraction deltas against
+    /// deletion-safe views (see [`ct_common::AggFn::deletion_safe`]).
+    pub fn from_changes(
+        attrs: Vec<AttrId>,
+        keys: Vec<u64>,
+        measures: &[i64],
+        deleted: &[bool],
+    ) -> Self {
+        let arity = attrs.len();
+        assert_eq!(keys.len(), measures.len() * arity, "key/measure length mismatch");
+        assert_eq!(measures.len(), deleted.len(), "measure/deleted length mismatch");
+        let states = measures
+            .iter()
+            .zip(deleted)
+            .map(|(&m, &d)| if d { AggState::retraction(m) } else { AggState::from_measure(m) })
+            .collect();
+        Relation { attrs, keys, states }
+    }
+
+    /// True if any row is a retraction (negative count).
+    pub fn has_retractions(&self) -> bool {
+        self.states.iter().any(|s| s.count < 0)
+    }
+
+    /// Number of key columns.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The key of row `i`.
+    pub fn key(&self, i: usize) -> &[u64] {
+        let a = self.arity();
+        &self.keys[i * a..(i + 1) * a]
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, key: &[u64], state: AggState) {
+        debug_assert_eq!(key.len(), self.arity());
+        self.keys.extend_from_slice(key);
+        self.states.push(state);
+    }
+
+    /// Position of attribute `a` in the schema.
+    pub fn col_of(&self, a: AttrId) -> Option<usize> {
+        self.attrs.iter().position(|&x| x == a)
+    }
+
+    /// Serializes one aggregate state as 4 words (sum, count, min, max) —
+    /// the intermediate wire format used by external sorts.
+    pub fn state_to_words(s: &AggState) -> [u64; 4] {
+        [s.sum as u64, s.count as u64, s.min as u64, s.max as u64]
+    }
+
+    /// Inverse of [`Relation::state_to_words`].
+    pub fn words_to_state(w: &[u64]) -> AggState {
+        AggState { sum: w[0] as i64, count: w[1] as i64, min: w[2] as i64, max: w[3] as i64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_relation_shape() {
+        let attrs = vec![AttrId(0), AttrId(1)];
+        let r = Relation::from_fact(attrs, vec![1, 2, 3, 4, 5, 6], &[10, 20, 30]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.key(1), &[3, 4]);
+        assert_eq!(r.states[2].sum, 30);
+        assert_eq!(r.states[2].count, 1);
+        assert_eq!(r.col_of(AttrId(1)), Some(1));
+        assert_eq!(r.col_of(AttrId(9)), None);
+    }
+
+    #[test]
+    fn state_word_roundtrip() {
+        let mut s = AggState::from_measure(-5);
+        s.merge(&AggState::from_measure(12));
+        let w = Relation::state_to_words(&s);
+        let back = Relation::words_to_state(&w);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn push_grows_rows() {
+        let mut r = Relation::empty(vec![AttrId(0)]);
+        assert!(r.is_empty());
+        r.push(&[7], AggState::from_measure(1));
+        r.push(&[8], AggState::from_measure(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.key(0), &[7]);
+    }
+}

@@ -1,0 +1,537 @@
+//! On-page layouts for the packed R-tree.
+//!
+//! ```text
+//! meta page (page 0):
+//!   0  u32 magic          4  u8 dims        5  u8 pack order
+//!   6  u16 view count
+//!   8  u64 root pid       16 u32 height     24 u64 leaf count
+//!   32 u64 entry count    40 u64 first leaf pid
+//!   48.. view table, 32 bytes per view:
+//!        u32 view id, u8 agg tag, u8 arity, u16 pad,
+//!        u64 entries, u64 first leaf, u64 last leaf
+//!
+//! internal page:
+//!   0 u8 tag=4   2 u16 entry count
+//!   16.. entries: lo[dims] ++ hi[dims] ++ child pid   (u64 words)
+//!
+//! leaf page:
+//!   0 u8 tag=5   1 u8 format (0 = varint-compressed, 1 = raw, 2 = zero-elided)
+//!   2 u16 entry count     4 u32 view id     8 u64 next leaf pid
+//!   16 u8 arity           17 u8 agg width   18 u16 data bytes
+//!   20 u8 stored coordinate width (= arity for formats 0/2 — the zero
+//!        padding of the valid mapping is *not* stored, §2.4; = tree dims
+//!        for the naive raw format)
+//!   24.. entry data (format-dependent)
+//! ```
+
+use crate::varint::{read_delta, write_delta};
+use ct_common::{AggFn, CtError, Rect, Result};
+use ct_storage::{Page, PAGE_SIZE};
+
+/// Magic number of an R-tree meta page.
+pub const MAGIC: u32 = 0x5254_5245; // "RTRE"
+/// Internal node tag.
+pub const TAG_INTERNAL: u8 = 4;
+/// Leaf node tag.
+pub const TAG_LEAF: u8 = 5;
+/// Byte offset where leaf entry data starts.
+pub const LEAF_DATA: usize = 24;
+/// Byte offset where internal entries start.
+pub const INT_DATA: usize = 16;
+/// "No next leaf" sentinel.
+pub const NO_LEAF: u64 = u64::MAX;
+/// Byte offset of the view table in the meta page.
+pub const VIEW_TABLE: usize = 48;
+/// Bytes per view-table slot.
+pub const VIEW_SLOT: usize = 32;
+/// Maximum views per tree (bounded by the meta page size; SelectMapping
+/// produces at most `dims` views per tree, far below this).
+pub const MAX_VIEWS: usize = (PAGE_SIZE - VIEW_TABLE) / VIEW_SLOT;
+
+/// Static description of one view stored in a tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ViewInfo {
+    /// The view's id (matches `ct_common::ViewId`).
+    pub view: u32,
+    /// The view's arity (coordinates actually stored per point).
+    pub arity: u8,
+    /// The aggregate function; fixes the aggregate word width.
+    pub agg: AggFn,
+}
+
+impl ViewInfo {
+    /// Aggregate word width.
+    pub fn agg_width(&self) -> usize {
+        self.agg.width()
+    }
+}
+
+/// Per-view placement statistics kept in the meta page.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ViewExtent {
+    /// Entries stored for the view.
+    pub entries: u64,
+    /// First leaf page holding the view.
+    pub first_leaf: u64,
+    /// Last leaf page holding the view.
+    pub last_leaf: u64,
+}
+
+/// Maximum entries of an internal node for a given dimensionality.
+pub fn internal_capacity(dims: usize) -> usize {
+    (PAGE_SIZE - INT_DATA) / ((2 * dims + 1) * 8)
+}
+
+/// A decoded internal node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InternalRNode {
+    /// `(mbr, child page id)` in packed order.
+    pub entries: Vec<(Rect, u64)>,
+}
+
+impl InternalRNode {
+    /// Decodes from a page.
+    pub fn read(page: &Page, dims: usize) -> Result<Self> {
+        if page.bytes()[0] != TAG_INTERNAL {
+            return Err(CtError::corrupt("expected R-tree internal node"));
+        }
+        let n = page.get_u16(2) as usize;
+        let stride = (2 * dims + 1) * 8;
+        let mut entries = Vec::with_capacity(n);
+        let mut lo = vec![0u64; dims];
+        let mut hi = vec![0u64; dims];
+        for i in 0..n {
+            let off = INT_DATA + i * stride;
+            page.get_u64s(off, &mut lo);
+            page.get_u64s(off + dims * 8, &mut hi);
+            let child = page.get_u64(off + 2 * dims * 8);
+            entries.push((Rect::new(&lo, &hi), child));
+        }
+        Ok(InternalRNode { entries })
+    }
+
+    /// Encodes into a page.
+    pub fn write(&self, page: &mut Page, dims: usize) {
+        page.clear();
+        page.bytes_mut()[0] = TAG_INTERNAL;
+        page.put_u16(2, self.entries.len() as u16);
+        let stride = (2 * dims + 1) * 8;
+        for (i, (mbr, child)) in self.entries.iter().enumerate() {
+            let off = INT_DATA + i * stride;
+            page.put_u64s(off, mbr.lo());
+            page.put_u64s(off + dims * 8, mbr.hi());
+            page.put_u64(off + 2 * dims * 8, *child);
+        }
+    }
+}
+
+/// A fully decoded leaf: `count` entries of `arity` coordinates and
+/// `agg_width` aggregate words each, flattened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodedLeaf {
+    /// Owning view id.
+    pub view: u32,
+    /// Coordinates stored per entry.
+    pub arity: usize,
+    /// Aggregate words per entry.
+    pub agg_width: usize,
+    /// Right-sibling leaf or [`NO_LEAF`].
+    pub next: u64,
+    /// Entry count.
+    pub count: usize,
+    /// `count * arity` coordinates.
+    pub coords: Vec<u64>,
+    /// `count * agg_width` aggregate words.
+    pub aggs: Vec<u64>,
+}
+
+impl DecodedLeaf {
+    /// Coordinates of entry `i`.
+    pub fn coords_of(&self, i: usize) -> &[u64] {
+        &self.coords[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Aggregate words of entry `i`.
+    pub fn aggs_of(&self, i: usize) -> &[u64] {
+        &self.aggs[i * self.agg_width..(i + 1) * self.agg_width]
+    }
+}
+
+/// Decodes a leaf page (any format).
+pub fn read_leaf(page: &Page) -> Result<DecodedLeaf> {
+    if page.bytes()[0] != TAG_LEAF {
+        return Err(CtError::corrupt("expected R-tree leaf node"));
+    }
+    let format = page.bytes()[1];
+    let count = page.get_u16(2) as usize;
+    let view = page.get_u32(4);
+    let next = page.get_u64(8);
+    let arity = page.bytes()[16] as usize;
+    let agg_width = page.bytes()[17] as usize;
+    let data_bytes = page.get_u16(18) as usize;
+    let coord_width = page.bytes()[20] as usize;
+    let mut coords = vec![0u64; count * arity];
+    let mut aggs = vec![0u64; count * agg_width];
+    match format {
+        1 | 2 => {
+            // Fixed-width entries: `coord_width` coordinates (= arity for the
+            // zero-elided format, = tree dims for raw) + aggregate words. The
+            // padding coordinates beyond `arity` are zero by construction and
+            // are dropped here.
+            let stride = (coord_width + agg_width) * 8;
+            let mut full = vec![0u64; coord_width];
+            for i in 0..count {
+                let off = LEAF_DATA + i * stride;
+                page.get_u64s(off, &mut full);
+                coords[i * arity..(i + 1) * arity].copy_from_slice(&full[..arity]);
+                page.get_u64s(
+                    off + coord_width * 8,
+                    &mut aggs[i * agg_width..(i + 1) * agg_width],
+                );
+            }
+        }
+        0 => {
+            // Compressed: per-column zigzag deltas against the previous entry.
+            let data = &page.bytes()[LEAF_DATA..LEAF_DATA + data_bytes];
+            let mut pos = 0usize;
+            let mut prev = vec![0u64; arity + agg_width];
+            for i in 0..count {
+                for (c, slot) in prev.iter_mut().enumerate() {
+                    let v = read_delta(data, &mut pos, *slot)
+                        .ok_or_else(|| CtError::corrupt("truncated leaf entry"))?;
+                    *slot = v;
+                    if c < arity {
+                        coords[i * arity + c] = v;
+                    } else {
+                        aggs[i * agg_width + (c - arity)] = v;
+                    }
+                }
+            }
+        }
+        other => return Err(CtError::corrupt(format!("unknown leaf format {other}"))),
+    }
+    Ok(DecodedLeaf { view, arity, agg_width, next, count, coords, aggs })
+}
+
+/// Incremental leaf encoder used by the packer. Entries are appended until
+/// [`LeafEncoder::fits_one_more`] says the page is full; the encoder is then written
+/// out and reset for the next leaf.
+pub struct LeafEncoder {
+    /// 0 = varint-compressed, 1 = raw, 2 = zero-elided.
+    pub format: u8,
+    view: u32,
+    arity: usize,
+    agg_width: usize,
+    /// Coordinates physically stored per entry (arity, or tree dims for raw).
+    coord_width: usize,
+    count: usize,
+    /// Compressed byte stream (format 0 only).
+    buf: Vec<u8>,
+    /// Fixed-width words (formats 1 and 2).
+    words: Vec<u64>,
+    prev: Vec<u64>,
+    budget: usize,
+}
+
+impl LeafEncoder {
+    /// A fresh encoder for one view's leaf in a `dims`-dimensional tree.
+    pub fn new(format: u8, view: u32, arity: usize, agg_width: usize, dims: usize) -> Self {
+        let coord_width = if format == 1 { dims } else { arity };
+        LeafEncoder {
+            format,
+            view,
+            arity,
+            agg_width,
+            coord_width,
+            count: 0,
+            buf: Vec::with_capacity(PAGE_SIZE),
+            words: Vec::new(),
+            prev: vec![0u64; arity + agg_width],
+            budget: PAGE_SIZE - LEAF_DATA,
+        }
+    }
+
+    /// Entries encoded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The view this leaf belongs to.
+    pub fn view(&self) -> u32 {
+        self.view
+    }
+
+    /// True if the encoder holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Conservatively checks whether one more entry can be appended.
+    pub fn fits_one_more(&self) -> bool {
+        if self.count >= u16::MAX as usize {
+            return false;
+        }
+        match self.format {
+            0 => {
+                // Worst case: every column takes a max-size varint.
+                self.buf.len() + (self.arity + self.agg_width) * crate::varint::MAX_VARINT
+                    <= self.budget
+            }
+            _ => (self.words.len() + self.coord_width + self.agg_width) * 8 <= self.budget,
+        }
+    }
+
+    /// Appends one entry (`coords` must have exactly `arity` values).
+    pub fn push(&mut self, coords: &[u64], aggs: &[u64]) {
+        debug_assert_eq!(coords.len(), self.arity);
+        debug_assert_eq!(aggs.len(), self.agg_width);
+        debug_assert!(self.fits_one_more(), "leaf overflow");
+        match self.format {
+            0 => {
+                for (c, &v) in coords.iter().chain(aggs.iter()).enumerate() {
+                    write_delta(&mut self.buf, self.prev[c], v);
+                    self.prev[c] = v;
+                }
+            }
+            _ => {
+                self.words.extend_from_slice(coords);
+                // Raw format writes the valid mapping's zero padding too.
+                for _ in self.arity..self.coord_width {
+                    self.words.push(0);
+                }
+                self.words.extend_from_slice(aggs);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Writes the finished leaf into a page.
+    pub fn write(&self, page: &mut Page, next: u64) {
+        page.clear();
+        page.bytes_mut()[0] = TAG_LEAF;
+        page.bytes_mut()[1] = self.format;
+        page.put_u16(2, self.count as u16);
+        page.put_u32(4, self.view);
+        page.put_u64(8, next);
+        page.bytes_mut()[16] = self.arity as u8;
+        page.bytes_mut()[17] = self.agg_width as u8;
+        page.bytes_mut()[20] = self.coord_width as u8;
+        match self.format {
+            0 => {
+                page.put_u16(18, self.buf.len() as u16);
+                page.bytes_mut()[LEAF_DATA..LEAF_DATA + self.buf.len()]
+                    .copy_from_slice(&self.buf);
+            }
+            _ => {
+                page.put_u16(18, (self.words.len() * 8) as u16);
+                page.put_u64s(LEAF_DATA, &self.words);
+            }
+        }
+    }
+}
+
+/// Meta-page state of a finished tree.
+#[derive(Clone, Debug)]
+pub struct TreeMeta {
+    /// Dimensionality.
+    pub dims: usize,
+    /// Pack-order tag (see `crate::build::PackOrder::code`): 0 = the
+    /// paper's low sort, 1 = Morton (ablation only; not merge-packable).
+    pub order: u8,
+    /// Root page id.
+    pub root: u64,
+    /// Height (1 = root is a leaf).
+    pub height: u32,
+    /// Total leaf pages.
+    pub leaf_count: u64,
+    /// Total entries across all views.
+    pub entry_count: u64,
+    /// Leftmost leaf (start of the sequential chain).
+    pub first_leaf: u64,
+    /// The views stored, with their placement extents.
+    pub views: Vec<(ViewInfo, ViewExtent)>,
+}
+
+impl TreeMeta {
+    /// Encodes into the meta page.
+    pub fn write(&self, page: &mut Page) {
+        assert!(self.views.len() <= MAX_VIEWS, "too many views for one tree");
+        page.clear();
+        page.put_u32(0, MAGIC);
+        page.bytes_mut()[4] = self.dims as u8;
+        page.bytes_mut()[5] = self.order;
+        page.put_u16(6, self.views.len() as u16);
+        page.put_u64(8, self.root);
+        page.put_u32(16, self.height);
+        page.put_u64(24, self.leaf_count);
+        page.put_u64(32, self.entry_count);
+        page.put_u64(40, self.first_leaf);
+        for (i, (info, ext)) in self.views.iter().enumerate() {
+            let off = VIEW_TABLE + i * VIEW_SLOT;
+            page.put_u32(off, info.view);
+            page.bytes_mut()[off + 4] = info.agg.tag();
+            page.bytes_mut()[off + 5] = info.arity;
+            page.put_u64(off + 8, ext.entries);
+            page.put_u64(off + 16, ext.first_leaf);
+            page.put_u64(off + 24, ext.last_leaf);
+        }
+    }
+
+    /// Decodes from the meta page.
+    pub fn read(page: &Page) -> Result<Self> {
+        if page.get_u32(0) != MAGIC {
+            return Err(CtError::corrupt("not an R-tree file"));
+        }
+        let dims = page.bytes()[4] as usize;
+        let n = page.get_u16(6) as usize;
+        let mut views = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = VIEW_TABLE + i * VIEW_SLOT;
+            let info = ViewInfo {
+                view: page.get_u32(off),
+                agg: AggFn::from_tag(page.bytes()[off + 4])?,
+                arity: page.bytes()[off + 5],
+            };
+            let ext = ViewExtent {
+                entries: page.get_u64(off + 8),
+                first_leaf: page.get_u64(off + 16),
+                last_leaf: page.get_u64(off + 24),
+            };
+            views.push((info, ext));
+        }
+        Ok(TreeMeta {
+            dims,
+            order: page.bytes()[5],
+            root: page.get_u64(8),
+            height: page.get_u32(16),
+            leaf_count: page.get_u64(24),
+            entry_count: page.get_u64(32),
+            first_leaf: page.get_u64(40),
+            views,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_node_roundtrip() {
+        let mut node = InternalRNode { entries: Vec::new() };
+        for i in 0..10u64 {
+            node.entries.push((Rect::new(&[i, i * 2, 0], &[i + 5, i * 2 + 5, 1]), 100 + i));
+        }
+        let mut page = Page::zeroed();
+        node.write(&mut page, 3);
+        let back = InternalRNode::read(&page, 3).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn internal_capacity_shrinks_with_dims() {
+        assert!(internal_capacity(2) > internal_capacity(4));
+        assert!(internal_capacity(8) >= 60);
+    }
+
+    #[test]
+    fn leaf_roundtrip_all_formats() {
+        for format in [0u8, 1u8, 2u8] {
+            let mut enc = LeafEncoder::new(format, 7, 2, 1, 4);
+            let entries: Vec<([u64; 2], [u64; 1])> = (0..50u64)
+                .map(|i| ([i * 3 + 1, 1000 - i], [i64::from_le_bytes((-((i as i64) * 7)).to_le_bytes()) as u64]))
+                .collect();
+            for (c, a) in &entries {
+                assert!(enc.fits_one_more());
+                enc.push(c, a);
+            }
+            let mut page = Page::zeroed();
+            enc.write(&mut page, 42);
+            let leaf = read_leaf(&page).unwrap();
+            assert_eq!(leaf.view, 7);
+            assert_eq!(leaf.next, 42);
+            assert_eq!(leaf.count, 50);
+            assert_eq!(leaf.arity, 2);
+            for (i, (c, a)) in entries.iter().enumerate() {
+                assert_eq!(leaf.coords_of(i), c, "format {format} entry {i}");
+                assert_eq!(leaf.aggs_of(i), a, "format {format} entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn denser_formats_hold_more_entries() {
+        // An arity-3 view in a 6-dimensional tree, sorted small-delta data.
+        // The paper's zero elision (§2.4) roughly halves the naive raw
+        // entry; varint deltas compress further still.
+        let mut raw = LeafEncoder::new(1, 0, 3, 1, 6);
+        let mut elided = LeafEncoder::new(2, 0, 3, 1, 6);
+        let mut comp = LeafEncoder::new(0, 0, 3, 1, 6);
+        let mut counts = [0u64; 3];
+        let mut i = 0u64;
+        loop {
+            let coords = [i % 100 + 1, (i / 100) % 100 + 1, i / 10_000 + 1];
+            let aggs = [i % 50 + 1];
+            let mut progressed = false;
+            for (n, enc) in counts.iter_mut().zip([&mut raw, &mut elided, &mut comp]) {
+                if enc.fits_one_more() {
+                    enc.push(&coords, &aggs);
+                    *n += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            i += 1;
+        }
+        let [raw_n, elided_n, comp_n] = counts;
+        assert!(
+            elided_n as f64 >= 1.5 * raw_n as f64,
+            "zero elision {elided_n} vs raw {raw_n}"
+        );
+        assert!(
+            comp_n as f64 > 2.0 * elided_n as f64,
+            "varint {comp_n} vs zero-elided {elided_n}"
+        );
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = TreeMeta {
+            dims: 4,
+            order: 0,
+            root: 9,
+            height: 3,
+            leaf_count: 120,
+            entry_count: 54_321,
+            first_leaf: 1,
+            views: vec![
+                (
+                    ViewInfo { view: 3, arity: 3, agg: AggFn::Sum },
+                    ViewExtent { entries: 50_000, first_leaf: 1, last_leaf: 100 },
+                ),
+                (
+                    ViewInfo { view: 8, arity: 1, agg: AggFn::Avg },
+                    ViewExtent { entries: 4_321, first_leaf: 101, last_leaf: 120 },
+                ),
+            ],
+        };
+        let mut page = Page::zeroed();
+        meta.write(&mut page);
+        let back = TreeMeta::read(&page).unwrap();
+        assert_eq!(back.dims, 4);
+        assert_eq!(back.root, 9);
+        assert_eq!(back.views.len(), 2);
+        assert_eq!(back.views[0].0, meta.views[0].0);
+        assert_eq!(back.views[1].1.entries, 4_321);
+    }
+
+    #[test]
+    fn corrupt_pages_are_rejected() {
+        let page = Page::zeroed();
+        assert!(read_leaf(&page).is_err());
+        assert!(InternalRNode::read(&page, 2).is_err());
+        assert!(TreeMeta::read(&page).is_err());
+    }
+}

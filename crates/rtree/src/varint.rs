@@ -1,0 +1,165 @@
+//! LEB128 varints and zigzag coding for compressed leaf entries.
+//!
+//! Within one leaf all points belong to one view and arrive in packed sort
+//! order, so consecutive entries differ little: coordinates are stored as
+//! zigzag-encoded deltas against the previous entry, then LEB128-encoded.
+//! Aggregate words get the same treatment (sums of neighbouring groups are
+//! of similar magnitude, so deltas stay short).
+
+/// Appends `v` as an LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint starting at `buf[*pos]`, advancing `pos`.
+/// Returns `None` on truncated input.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes of either sign become
+/// small unsigned values.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends the zigzag varint of the difference `new - prev` (wrapping).
+#[inline]
+pub fn write_delta(buf: &mut Vec<u8>, prev: u64, new: u64) {
+    write_varint(buf, zigzag(new.wrapping_sub(prev) as i64));
+}
+
+/// Reads a delta written by [`write_delta`] and applies it to `prev`.
+#[inline]
+pub fn read_delta(buf: &[u8], pos: &mut usize, prev: u64) -> Option<u64> {
+    let d = read_varint(buf, pos)?;
+    Some(prev.wrapping_add(unzigzag(d) as u64))
+}
+
+/// Worst-case encoded size of one varint.
+pub const MAX_VARINT: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 255, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn delta_roundtrip_including_wrap() {
+        let cases = [(5u64, 9u64), (9, 5), (0, u64::MAX), (u64::MAX, 0), (7, 7)];
+        for (prev, new) in cases {
+            let mut buf = Vec::new();
+            write_delta(&mut buf, prev, new);
+            let mut pos = 0;
+            assert_eq!(read_delta(&buf, &mut pos, prev), Some(new));
+        }
+    }
+
+    #[test]
+    fn sorted_streams_compress_well() {
+        // 1000 consecutive coordinates should take ~1 byte each.
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for v in 1..=1000u64 {
+            write_delta(&mut buf, prev, v);
+            prev = v;
+        }
+        assert!(buf.len() <= 1100, "got {} bytes", buf.len());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Round-trip over arbitrary values and arbitrary deltas.
+        #[test]
+        fn varint_roundtrip(v in proptest::num::u64::ANY) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn delta_roundtrip(prev in proptest::num::u64::ANY, new in proptest::num::u64::ANY) {
+            let mut buf = Vec::new();
+            write_delta(&mut buf, prev, new);
+            let mut pos = 0;
+            prop_assert_eq!(read_delta(&buf, &mut pos, prev), Some(new));
+        }
+
+        /// A random byte soup never panics the reader — it either decodes or
+        /// returns None.
+        #[test]
+        fn reader_is_total(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..24)) {
+            let mut pos = 0;
+            let _ = read_varint(&bytes, &mut pos);
+            prop_assert!(pos <= bytes.len());
+        }
+    }
+}

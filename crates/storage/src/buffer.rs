@@ -1,0 +1,379 @@
+//! A clock (second-chance) buffer pool shared by all storage structures.
+//!
+//! The pool's job in this reproduction mirrors its role in the paper's
+//! analysis (§2.4): the probability that the top levels of every index stay
+//! resident determines search performance, and it is why SelectMapping's
+//! *minimal* forest beats one-tree-per-view. Dirty frames are written back on
+//! eviction and on [`BufferPool::flush_all`]; reads absorbed by the pool are
+//! counted as buffer hits rather than physical I/O.
+
+use crate::io::IoStats;
+use crate::page::{Page, PageId};
+use crate::pager::{DiskFile, FileId};
+use ct_common::{CtError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Frame {
+    key: (u32, u64),
+    page: Page,
+    dirty: bool,
+    referenced: bool,
+    occupied: bool,
+}
+
+struct Inner {
+    files: Vec<Option<Arc<DiskFile>>>,
+    frames: Vec<Frame>,
+    map: HashMap<(u32, u64), usize>,
+    hand: usize,
+}
+
+/// Fixed-capacity page cache with second-chance replacement.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    stats: Arc<IoStats>,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, stats: Arc<IoStats>) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                key: (u32::MAX, u64::MAX),
+                page: Page::zeroed(),
+                dirty: false,
+                referenced: false,
+                occupied: false,
+            })
+            .collect();
+        BufferPool {
+            inner: Mutex::new(Inner { files: Vec::new(), frames, map: HashMap::new(), hand: 0 }),
+            capacity,
+            stats,
+        }
+    }
+
+    /// Registers a file with the pool, returning its handle.
+    pub fn register(&self, file: Arc<DiskFile>) -> FileId {
+        let mut inner = self.inner.lock();
+        let id = FileId(inner.files.len() as u32);
+        inner.files.push(Some(file));
+        id
+    }
+
+    /// The registered file behind a handle.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale (file was removed) or unknown.
+    pub fn file(&self, fid: FileId) -> Arc<DiskFile> {
+        self.inner.lock().files[fid.0 as usize]
+            .as_ref()
+            .expect("file was removed from the pool")
+            .clone()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Runs `f` over an immutable view of page `(fid, pid)`, faulting it in
+    /// if needed.
+    pub fn with_page<R>(&self, fid: FileId, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.fault_in(&mut inner, fid, pid)?;
+        inner.frames[idx].referenced = true;
+        Ok(f(&inner.frames[idx].page))
+    }
+
+    /// Runs `f` over a mutable view of page `(fid, pid)`, marking it dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.fault_in(&mut inner, fid, pid)?;
+        let frame = &mut inner.frames[idx];
+        frame.referenced = true;
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Allocates a fresh page in `fid` and returns its id; the page is
+    /// resident, zeroed and dirty (no disk read is charged for it).
+    pub fn new_page(&self, fid: FileId) -> Result<PageId> {
+        let mut inner = self.inner.lock();
+        let file = inner.files[fid.0 as usize]
+            .as_ref()
+            .ok_or_else(|| CtError::invalid("file was removed from the pool"))?
+            .clone();
+        let pid = file.allocate();
+        let idx = self.find_victim(&mut inner)?;
+        let frame = &mut inner.frames[idx];
+        frame.key = (fid.0, pid.0);
+        frame.page.clear();
+        frame.dirty = true;
+        frame.referenced = true;
+        frame.occupied = true;
+        inner.map.insert((fid.0, pid.0), idx);
+        Ok(pid)
+    }
+
+    /// Writes every dirty frame back to its file.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].occupied && inner.frames[i].dirty {
+                Self::write_back(&mut inner, i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all frames of `fid` (dirty or not) and deletes the file.
+    pub fn remove_file(&self, fid: FileId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].occupied && inner.frames[i].key.0 == fid.0 {
+                let key = inner.frames[i].key;
+                inner.map.remove(&key);
+                inner.frames[i].occupied = false;
+                inner.frames[i].dirty = false;
+            }
+        }
+        let file = inner.files[fid.0 as usize]
+            .take()
+            .ok_or_else(|| CtError::invalid("file already removed"))?;
+        file.delete()
+    }
+
+    /// Total allocated bytes across live files.
+    pub fn total_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.files.iter().flatten().map(|f| f.size_bytes()).sum()
+    }
+
+    fn fault_in(&self, inner: &mut Inner, fid: FileId, pid: PageId) -> Result<usize> {
+        if let Some(&idx) = inner.map.get(&(fid.0, pid.0)) {
+            self.stats.record_buffer_hit();
+            return Ok(idx);
+        }
+        let file = inner.files[fid.0 as usize]
+            .as_ref()
+            .ok_or_else(|| CtError::invalid("file was removed from the pool"))?
+            .clone();
+        let idx = self.find_victim(inner)?;
+        // Read into the frame (the pager records the physical read).
+        file.read_page(pid, &mut inner.frames[idx].page)?;
+        let frame = &mut inner.frames[idx];
+        frame.key = (fid.0, pid.0);
+        frame.dirty = false;
+        frame.referenced = true;
+        frame.occupied = true;
+        inner.map.insert((fid.0, pid.0), idx);
+        Ok(idx)
+    }
+
+    /// Second-chance scan for a frame to reuse; writes back the victim if
+    /// dirty.
+    fn find_victim(&self, inner: &mut Inner) -> Result<usize> {
+        // Two full sweeps guarantee progress: the first clears referenced
+        // bits, the second must find a victim.
+        for _ in 0..(2 * self.capacity + 1) {
+            let i = inner.hand;
+            inner.hand = (inner.hand + 1) % self.capacity;
+            if !inner.frames[i].occupied {
+                return Ok(i);
+            }
+            if inner.frames[i].referenced {
+                inner.frames[i].referenced = false;
+                continue;
+            }
+            if inner.frames[i].dirty {
+                Self::write_back(inner, i)?;
+            }
+            let key = inner.frames[i].key;
+            inner.map.remove(&key);
+            inner.frames[i].occupied = false;
+            return Ok(i);
+        }
+        Err(CtError::invalid("buffer pool could not find a victim frame"))
+    }
+
+    fn write_back(inner: &mut Inner, idx: usize) -> Result<()> {
+        let (fid, pid) = inner.frames[idx].key;
+        let file = inner.files[fid as usize]
+            .as_ref()
+            .ok_or_else(|| CtError::corrupt("dirty frame for removed file"))?
+            .clone();
+        file.write_page(PageId(pid), &inner.frames[idx].page)?;
+        inner.frames[idx].dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::TempDir;
+
+    fn pool(capacity: usize) -> (TempDir, Arc<IoStats>, BufferPool, FileId) {
+        let dir = TempDir::new("buffer-test").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = BufferPool::new(capacity, stats.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let fid = pool.register(file);
+        (dir, stats, pool, fid)
+    }
+
+    #[test]
+    fn new_pages_are_zeroed_and_cached() {
+        let (_d, stats, pool, fid) = pool(8);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page(fid, pid, |p| assert_eq!(p.get_u64(0), 0)).unwrap();
+        // No physical read should have happened.
+        assert_eq!(stats.snapshot().seq_reads + stats.snapshot().rand_reads, 0);
+        assert_eq!(stats.snapshot().buffer_hits, 1);
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let (_d, _s, pool, fid) = pool(2);
+        let mut pids = Vec::new();
+        for i in 0..10u64 {
+            let pid = pool.new_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |p| p.put_u64(0, i * 100)).unwrap();
+            pids.push(pid);
+        }
+        // Capacity 2 forced evictions; values must round-trip through disk.
+        for (i, pid) in pids.iter().enumerate() {
+            pool.with_page(fid, *pid, |p| assert_eq!(p.get_u64(0), i as u64 * 100)).unwrap();
+        }
+    }
+
+    #[test]
+    fn hits_avoid_physical_io() {
+        let (_d, stats, pool, fid) = pool(8);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |p| p.put_u64(0, 1)).unwrap();
+        pool.flush_all().unwrap();
+        let before = stats.snapshot();
+        for _ in 0..5 {
+            pool.with_page(fid, pid, |p| assert_eq!(p.get_u64(0), 1)).unwrap();
+        }
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.seq_reads + delta.rand_reads, 0);
+        assert_eq!(delta.buffer_hits, 5);
+    }
+
+    #[test]
+    fn flush_all_persists_dirty_pages() {
+        let (_d, _s, pool, fid) = pool(4);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |p| p.put_u64(8, 42)).unwrap();
+        pool.flush_all().unwrap();
+        // Read directly from the file, bypassing the pool.
+        let file = pool.file(fid);
+        let mut page = Page::zeroed();
+        file.read_page(pid, &mut page).unwrap();
+        assert_eq!(page.get_u64(8), 42);
+    }
+
+    #[test]
+    fn remove_file_discards_frames() {
+        let (_d, _s, pool, fid) = pool(4);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |p| p.put_u64(0, 9)).unwrap();
+        let path = pool.file(fid).path().to_path_buf();
+        pool.remove_file(fid).unwrap();
+        assert!(!path.exists());
+        assert!(pool.with_page(fid, pid, |_| ()).is_err());
+    }
+
+    #[test]
+    fn many_files_interleaved() {
+        let dir = TempDir::new("buffer-multi").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = BufferPool::new(3, stats.clone());
+        let mut fids = Vec::new();
+        for i in 0..4 {
+            let f =
+                Arc::new(DiskFile::create(dir.path().join(format!("f{i}.db")), stats.clone()).unwrap());
+            fids.push(pool.register(f));
+        }
+        for (i, &fid) in fids.iter().enumerate() {
+            let pid = pool.new_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |p| p.put_u64(0, i as u64)).unwrap();
+        }
+        for (i, &fid) in fids.iter().enumerate() {
+            pool.with_page(fid, PageId(0), |p| assert_eq!(p.get_u64(0), i as u64)).unwrap();
+        }
+        assert_eq!(pool.total_bytes(), 4 * crate::page::PAGE_SIZE as u64);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::env::TempDir;
+
+    #[test]
+    fn capacity_one_pool_thrashes_correctly() {
+        let dir = TempDir::new("buffer-cap1").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = BufferPool::new(1, stats.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let fid = pool.register(file);
+        let mut pids = Vec::new();
+        for i in 0..20u64 {
+            let pid = pool.new_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |p| p.put_u64(0, i)).unwrap();
+            pids.push(pid);
+        }
+        for (i, pid) in pids.iter().enumerate() {
+            pool.with_page(fid, *pid, |p| assert_eq!(p.get_u64(0), i as u64)).unwrap();
+        }
+        // Every re-read after the first eviction wave is a physical read.
+        assert!(stats.snapshot().seq_reads + stats.snapshot().rand_reads >= 19);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let dir = TempDir::new("buffer-flush2").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = BufferPool::new(4, stats.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let fid = pool.register(file);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |p| p.put_u64(0, 5)).unwrap();
+        pool.flush_all().unwrap();
+        let w1 = stats.snapshot().seq_writes + stats.snapshot().rand_writes;
+        pool.flush_all().unwrap();
+        let w2 = stats.snapshot().seq_writes + stats.snapshot().rand_writes;
+        assert_eq!(w1, w2, "clean frames must not be rewritten");
+    }
+
+    #[test]
+    fn stale_file_handles_error_cleanly() {
+        let dir = TempDir::new("buffer-stale").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = BufferPool::new(4, stats.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let fid = pool.register(file);
+        let pid = pool.new_page(fid).unwrap();
+        pool.remove_file(fid).unwrap();
+        assert!(pool.with_page(fid, pid, |_| ()).is_err());
+        assert!(pool.with_page_mut(fid, pid, |_| ()).is_err());
+        assert!(pool.new_page(fid).is_err());
+        assert!(pool.remove_file(fid).is_err(), "double remove");
+    }
+}

@@ -1,0 +1,158 @@
+//! Storage environment: a temp directory + buffer pool + counters.
+
+use crate::buffer::BufferPool;
+use crate::io::{IoSnapshot, IoStats};
+use crate::pager::{DiskFile, FileId};
+use ct_common::{CostModel, Result};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A self-deleting temporary directory (removed on drop).
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory under the system temp dir.
+    pub fn new(prefix: &str) -> Result<Self> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "cubetrees-{prefix}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Everything a storage engine needs: where files live, the shared buffer
+/// pool, the I/O counters and the cost model that prices them.
+pub struct StorageEnv {
+    dir: TempDir,
+    stats: Arc<IoStats>,
+    pool: Arc<BufferPool>,
+    cost: CostModel,
+    file_seq: AtomicU64,
+}
+
+/// Default buffer pool size: 4096 × 8 KiB = 32 MiB, matching the paper's
+/// testbed RAM ("a single processor Ultra Sparc I, with 32MB main memory").
+pub const DEFAULT_POOL_PAGES: usize = 4096;
+
+impl StorageEnv {
+    /// Creates an environment with the default (paper-matching) buffer size
+    /// and cost model.
+    pub fn new(prefix: &str) -> Result<Self> {
+        StorageEnv::with_config(prefix, DEFAULT_POOL_PAGES, CostModel::default())
+    }
+
+    /// Creates an environment with an explicit pool size (in pages) and cost
+    /// model.
+    pub fn with_config(prefix: &str, pool_pages: usize, cost: CostModel) -> Result<Self> {
+        let dir = TempDir::new(prefix)?;
+        let stats = Arc::new(IoStats::new());
+        let pool = Arc::new(BufferPool::new(pool_pages, stats.clone()));
+        Ok(StorageEnv { dir, stats, pool, cost, file_seq: AtomicU64::new(0) })
+    }
+
+    /// Creates a new page file in the environment directory and registers it
+    /// with the buffer pool.
+    pub fn create_file(&self, name: &str) -> Result<FileId> {
+        let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.path().join(format!("{n:04}-{name}.pages"));
+        let file = Arc::new(DiskFile::create(path, self.stats.clone())?);
+        Ok(self.pool.register(file))
+    }
+
+    /// Creates an *unbuffered* page file (bypassing the pool) for streaming
+    /// uses like sort runs, where caching would only pollute the pool.
+    pub fn create_raw_file(&self, name: &str) -> Result<Arc<DiskFile>> {
+        let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.path().join(format!("{n:04}-{name}.run"));
+        Ok(Arc::new(DiskFile::create(path, self.stats.clone())?))
+    }
+
+    /// Drops a buffered file: evicts its frames (discarding dirty state) and
+    /// deletes it from disk. Used when merge-pack replaces an old Cubetree
+    /// and when the conventional engine rebuilds views from scratch.
+    pub fn remove_file(&self, fid: FileId) -> Result<()> {
+        self.pool.remove_file(fid)
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// A point-in-time copy of the I/O counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The environment's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Total bytes currently allocated by all live buffered files.
+    pub fn total_bytes(&self) -> u64 {
+        self.pool.total_bytes()
+    }
+
+    /// Allocated bytes of one file.
+    pub fn file_bytes(&self, fid: FileId) -> u64 {
+        self.pool.file(fid).size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_is_removed_on_drop() {
+        let path;
+        {
+            let d = TempDir::new("probe").unwrap();
+            path = d.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn env_creates_distinct_files() {
+        let env = StorageEnv::new("env-test").unwrap();
+        let a = env.create_file("alpha").unwrap();
+        let b = env.create_file("alpha").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(env.total_bytes(), 0);
+    }
+
+    #[test]
+    fn raw_files_live_in_env_dir() {
+        let env = StorageEnv::new("env-raw").unwrap();
+        let f = env.create_raw_file("spill").unwrap();
+        assert!(f.path().starts_with(env.dir.path()));
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared I/O accounting.
+//!
+//! Every physical page access in the system flows through [`IoStats`],
+//! classified by the pager as sequential or random. The counters are the raw
+//! material for the simulated-time metric (see [`ct_common::cost`]): the
+//! paper's performance claims hinge on the sequential/random distinction, not
+//! on absolute device speed.
+
+use ct_common::CostModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one storage environment.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    seq_reads: AtomicU64,
+    rand_reads: AtomicU64,
+    seq_writes: AtomicU64,
+    rand_writes: AtomicU64,
+    /// Page requests satisfied by the buffer pool without touching disk.
+    buffer_hits: AtomicU64,
+    /// Tuples processed by CPU-side operators (sorts, aggregations, probes).
+    tuples: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    pub(crate) fn record_read(&self, sequential: bool) {
+        if sequential {
+            self.seq_reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rand_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_write(&self, sequential: bool) {
+        if sequential {
+            self.seq_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rand_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_buffer_hit(&self) {
+        self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges `n` tuples of CPU work.
+    pub fn add_tuples(&self, n: u64) {
+        self.tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            rand_reads: self.rand_reads.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+            rand_writes: self.rand_writes.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            tuples: self.tuples.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of [`IoStats`], supporting interval arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Sequential page reads from disk.
+    pub seq_reads: u64,
+    /// Random page reads from disk.
+    pub rand_reads: u64,
+    /// Sequential page writes to disk.
+    pub seq_writes: u64,
+    /// Random page writes to disk.
+    pub rand_writes: u64,
+    /// Reads absorbed by the buffer pool.
+    pub buffer_hits: u64,
+    /// CPU-side tuples processed.
+    pub tuples: u64,
+}
+
+impl IoSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            seq_reads: self.seq_reads - earlier.seq_reads,
+            rand_reads: self.rand_reads - earlier.rand_reads,
+            seq_writes: self.seq_writes - earlier.seq_writes,
+            rand_writes: self.rand_writes - earlier.rand_writes,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            tuples: self.tuples - earlier.tuples,
+        }
+    }
+
+    /// Total physical page accesses.
+    pub fn total_io(&self) -> u64 {
+        self.seq_reads + self.rand_reads + self.seq_writes + self.rand_writes
+    }
+
+    /// Simulated elapsed seconds under `model`.
+    pub fn simulated_seconds(&self, model: &CostModel) -> f64 {
+        model.seconds(self.seq_reads, self.rand_reads, self.seq_writes, self.rand_writes, self.tuples)
+    }
+
+    /// Buffer hit ratio over all logical reads (hits / (hits + physical
+    /// reads)), or 1.0 when nothing was read — the §2.4 metric that
+    /// motivates minimizing the number of Cubetrees.
+    pub fn hit_ratio(&self) -> f64 {
+        let logical = self.buffer_hits + self.seq_reads + self.rand_reads;
+        if logical == 0 {
+            1.0
+        } else {
+            self.buffer_hits as f64 / logical as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let s = IoStats::new();
+        s.record_read(true);
+        s.record_read(false);
+        s.record_read(false);
+        s.record_write(true);
+        s.record_buffer_hit();
+        s.add_tuples(10);
+        let a = s.snapshot();
+        assert_eq!(a.seq_reads, 1);
+        assert_eq!(a.rand_reads, 2);
+        assert_eq!(a.seq_writes, 1);
+        assert_eq!(a.rand_writes, 0);
+        assert_eq!(a.buffer_hits, 1);
+        assert_eq!(a.tuples, 10);
+        assert_eq!(a.total_io(), 4);
+
+        s.record_write(false);
+        s.add_tuples(5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.rand_writes, 1);
+        assert_eq!(d.tuples, 5);
+        assert_eq!(d.seq_reads, 0);
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let empty = IoSnapshot::default();
+        assert_eq!(empty.hit_ratio(), 1.0);
+        let some = IoSnapshot { buffer_hits: 3, rand_reads: 1, ..Default::default() };
+        assert_eq!(some.hit_ratio(), 0.75);
+    }
+
+    #[test]
+    fn simulated_seconds_uses_model() {
+        let snap = IoSnapshot { rand_reads: 1000, ..Default::default() };
+        let t = snap.simulated_seconds(&CostModel::DISK_1998);
+        assert!((t - 12.0).abs() < 1e-9, "1000 random reads at 12ms = 12s, got {t}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # ct-storage — paged storage substrate
+//!
+//! The storage layer both the conventional baseline and the Cubetrees build
+//! on. It provides:
+//!
+//! * [`page`] — the fixed 8 KiB page with little-endian codec helpers.
+//! * [`pager`] — file-backed page I/O that classifies every access as
+//!   *sequential* or *random*, feeding the paper's cost argument (§3.2/§3.4:
+//!   Cubetrees win because packing and merge-packing do only sequential
+//!   writes, while relational updates do random I/O).
+//! * [`io`] — shared atomic I/O counters and snapshots.
+//! * [`buffer`] — a small LRU buffer pool (the paper's testbed had 32 MB of
+//!   RAM; the buffer-hit-ratio argument of §2.4 depends on it).
+//! * [`env`](mod@env) — a storage environment tying a temp directory, the pool and
+//!   the counters together.
+//! * [`sort`] — external merge sort over fixed-width records, used to compute
+//!   views (\[AAD+96\]-style sort-based cube computation) and to prepare the
+//!   sorted streams the R-tree packer consumes.
+
+pub mod buffer;
+pub mod env;
+pub mod io;
+pub mod page;
+pub mod pager;
+pub mod sort;
+
+pub use buffer::BufferPool;
+pub use env::{StorageEnv, TempDir};
+pub use io::{IoSnapshot, IoStats};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pager::{DiskFile, FileId};
+pub use sort::ExternalSorter;

@@ -1,0 +1,147 @@
+//! Fixed-size pages with little-endian field codecs.
+
+/// Size of every on-disk page, in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Zero-based page number within one file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of this page inside its file.
+    #[inline]
+    pub fn byte_offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+/// An in-memory 8 KiB page.
+///
+/// Pages are plain byte buffers; each storage structure (heap, B-tree,
+/// R-tree) defines its own layout on top using the typed accessors here.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        Page { data: Box::new([0u8; PAGE_SIZE]) }
+    }
+
+    /// Raw bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Raw bytes, mutable.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Resets the page to all zeros.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Reads a `u16` at byte offset `off`.
+    #[inline]
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+    }
+
+    /// Writes a `u16` at byte offset `off`.
+    #[inline]
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` at byte offset `off`.
+    #[inline]
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    /// Writes a `u32` at byte offset `off`.
+    #[inline]
+    pub fn put_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u64` at byte offset `off`.
+    #[inline]
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    /// Writes a `u64` at byte offset `off`.
+    #[inline]
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads `n` consecutive `u64`s starting at `off` into `out`.
+    pub fn get_u64s(&self, off: usize, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.get_u64(off + i * 8);
+        }
+    }
+
+    /// Writes all of `vals` as consecutive `u64`s starting at `off`.
+    pub fn put_u64s(&mut self, off: usize, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            self.put_u64(off + i * 8, v);
+        }
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mut p = Page::zeroed();
+        p.put_u16(0, 0xBEEF);
+        p.put_u32(2, 0xDEAD_BEEF);
+        p.put_u64(6, u64::MAX - 3);
+        assert_eq!(p.get_u16(0), 0xBEEF);
+        assert_eq!(p.get_u32(2), 0xDEAD_BEEF);
+        assert_eq!(p.get_u64(6), u64::MAX - 3);
+    }
+
+    #[test]
+    fn u64_slices_roundtrip() {
+        let mut p = Page::zeroed();
+        let vals = [1u64, 2, u64::MAX, 0, 42];
+        p.put_u64s(100, &vals);
+        let mut out = [0u64; 5];
+        p.get_u64s(100, &mut out);
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut p = Page::zeroed();
+        p.put_u64(8000, 7);
+        p.clear();
+        assert_eq!(p.get_u64(8000), 0);
+    }
+
+    #[test]
+    fn last_valid_offsets() {
+        let mut p = Page::zeroed();
+        p.put_u64(PAGE_SIZE - 8, 9);
+        assert_eq!(p.get_u64(PAGE_SIZE - 8), 9);
+        assert_eq!(PageId(3).byte_offset(), 3 * PAGE_SIZE as u64);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ct-tpcd — a TPC-D-like warehouse generator (DBGEN substitute)
+//!
+//! The paper's evaluation (§3) populates its views "with data generated from
+//! the TPC-D benchmark" using the DBGEN utility. TPC-D itself is proprietary
+//! tooling; this crate is a deterministic substitute that reproduces the
+//! *structural* properties the experiments depend on:
+//!
+//! * the star schema of paper Figure 1 — a fact (lineitem-like) table over
+//!   `partkey`, `suppkey`, `custkey` (plus `timekey` for the §2.4 example),
+//!   with a `quantity` measure in `1..=50`;
+//! * TPC-D cardinality ratios at scale factor `SF`: 200,000·SF parts,
+//!   10,000·SF suppliers, 150,000·SF customers, 6,001,215·SF fact rows;
+//! * the **part–supplier correlation**: each part is supplied by exactly 4
+//!   suppliers (TPC-D's PARTSUPP), which is what makes
+//!   `|V{partkey,suppkey}| ≈ 4·|part| = 800,000·SF` instead of ~|F| and is
+//!   why the paper's selection materializes `V{partkey,suppkey}`;
+//! * dimension hierarchies: `partkey → part.brand` (25 brands),
+//!   `partkey → part.type` (150 types), `timekey → month → year` (7 years of
+//!   days), and supplier/customer nations — enough to express every view in
+//!   the paper's Figures 6 and 9;
+//! * a 10% *increment* generator for the refresh experiment (paper §3.4
+//!   generated 598,964 rows against the 1 GB dataset).
+//!
+//! Everything is reproducible from a seed.
+
+pub mod warehouse;
+
+pub use warehouse::{TpcdAttrs, TpcdConfig, TpcdWarehouse, SUPPLIERS_PER_PART};

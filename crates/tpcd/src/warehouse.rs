@@ -1,0 +1,320 @@
+//! The warehouse schema, dimension data and fact generator.
+
+use ct_common::{AttrId, Catalog};
+use ct_cube::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// TPC-D: every part has exactly 4 (part, supplier) relationships.
+pub const SUPPLIERS_PER_PART: u64 = 4;
+
+/// Days in the 7-year TPC-D date range (1992-01-01 .. 1998-12-31).
+pub const DAYS: u64 = 2_557;
+/// Months in the date range.
+pub const MONTHS: u64 = 84;
+/// Years in the date range.
+pub const YEARS: u64 = 7;
+/// Distinct part brands.
+pub const BRANDS: u64 = 25;
+/// Distinct part types.
+pub const TYPES: u64 = 150;
+/// Distinct nations.
+pub const NATIONS: u64 = 25;
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcdConfig {
+    /// TPC-D scale factor: 1.0 is the paper's 1 GB dataset (6,001,215 fact
+    /// rows). Benchmarks default to much smaller factors; the ratios stay.
+    pub scale_factor: f64,
+    /// RNG seed; a fixed seed reproduces the exact dataset.
+    pub seed: u64,
+}
+
+impl Default for TpcdConfig {
+    fn default() -> Self {
+        TpcdConfig { scale_factor: 0.01, seed: 42 }
+    }
+}
+
+/// The registered attribute ids of the warehouse catalog.
+#[derive(Clone, Copy, Debug)]
+pub struct TpcdAttrs {
+    /// Fact foreign key to `part`.
+    pub partkey: AttrId,
+    /// Fact foreign key to `supplier`.
+    pub suppkey: AttrId,
+    /// Fact foreign key to `customer`.
+    pub custkey: AttrId,
+    /// Fact foreign key to `time`.
+    pub timekey: AttrId,
+    /// `part.brand`, determined by `partkey`.
+    pub brand: AttrId,
+    /// `part.type`, determined by `partkey`.
+    pub ptype: AttrId,
+    /// `time.month`, determined by `timekey`.
+    pub month: AttrId,
+    /// `time.year`, determined by `month`.
+    pub year: AttrId,
+    /// `supplier.nation`, determined by `suppkey`.
+    pub s_nation: AttrId,
+    /// `customer.nation`, determined by `custkey`.
+    pub c_nation: AttrId,
+}
+
+/// A generated warehouse: catalog (attributes + hierarchies), dimension
+/// sizes, and fact/increment generators.
+pub struct TpcdWarehouse {
+    config: TpcdConfig,
+    catalog: Catalog,
+    attrs: TpcdAttrs,
+    parts: u64,
+    suppliers: u64,
+    customers: u64,
+}
+
+impl TpcdWarehouse {
+    /// Builds the warehouse metadata (dimension tables are realized as
+    /// hierarchy lookup maps; their payload columns are irrelevant to the
+    /// experiments).
+    pub fn new(config: TpcdConfig) -> Self {
+        let sf = config.scale_factor;
+        let parts = ((200_000.0 * sf) as u64).max(100);
+        let suppliers = ((10_000.0 * sf) as u64).max(SUPPLIERS_PER_PART * 2);
+        let customers = ((150_000.0 * sf) as u64).max(75);
+
+        let mut catalog = Catalog::new();
+        let partkey = catalog.add_attr("partkey", parts);
+        let suppkey = catalog.add_attr("suppkey", suppliers);
+        let custkey = catalog.add_attr("custkey", customers);
+        let timekey = catalog.add_attr("timekey", DAYS);
+        let brand = catalog.add_attr("part.brand", BRANDS);
+        let ptype = catalog.add_attr("part.type", TYPES);
+        let month = catalog.add_attr("time.month", MONTHS);
+        let year = catalog.add_attr("time.year", YEARS);
+        let s_nation = catalog.add_attr("supplier.nation", NATIONS);
+        let c_nation = catalog.add_attr("customer.nation", NATIONS);
+
+        // Dimension attribute maps. TPC-D assigns brand/type pseudo-randomly
+        // per part; a mixed congruential hash keeps them deterministic.
+        let mix = |v: u64, salt: u64, m: u64| {
+            let x = v
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt)
+                .rotate_left(31)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x % m + 1
+        };
+        let map = |n: u64, salt: u64, m: u64| -> Vec<u64> {
+            (0..=n).map(|v| if v == 0 { 0 } else { mix(v, salt, m) }).collect()
+        };
+        catalog.add_hierarchy(partkey, brand, map(parts, 1, BRANDS));
+        catalog.add_hierarchy(partkey, ptype, map(parts, 2, TYPES));
+        catalog.add_hierarchy(suppkey, s_nation, map(suppliers, 3, NATIONS));
+        catalog.add_hierarchy(custkey, c_nation, map(customers, 4, NATIONS));
+        // Calendar hierarchies are structured, not random: day → month → year.
+        let day_to_month: Vec<u64> =
+            (0..=DAYS).map(|d| if d == 0 { 0 } else { (d - 1) / 31 + 1 }).collect();
+        let month_to_year: Vec<u64> =
+            (0..=MONTHS).map(|m| if m == 0 { 0 } else { (m - 1) / 12 + 1 }).collect();
+        catalog.add_hierarchy(timekey, month, day_to_month);
+        catalog.add_hierarchy(month, year, month_to_year);
+
+        let attrs = TpcdAttrs {
+            partkey,
+            suppkey,
+            custkey,
+            timekey,
+            brand,
+            ptype,
+            month,
+            year,
+            s_nation,
+            c_nation,
+        };
+        TpcdWarehouse { config, catalog, attrs, parts, suppliers, customers }
+    }
+
+    /// The warehouse catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The registered attributes.
+    pub fn attrs(&self) -> &TpcdAttrs {
+        &self.attrs
+    }
+
+    /// Number of parts at this scale factor.
+    pub fn parts(&self) -> u64 {
+        self.parts
+    }
+
+    /// Number of suppliers.
+    pub fn suppliers(&self) -> u64 {
+        self.suppliers
+    }
+
+    /// Number of customers.
+    pub fn customers(&self) -> u64 {
+        self.customers
+    }
+
+    /// Fact rows of the base load at this scale factor.
+    pub fn base_rows(&self) -> u64 {
+        ((6_001_215.0 * self.config.scale_factor) as u64).max(1_000)
+    }
+
+    /// The `j`-th supplier of part `p` (TPC-D PARTSUPP formula): suppliers
+    /// are spread deterministically so each part has exactly
+    /// [`SUPPLIERS_PER_PART`] of them.
+    pub fn supplier_of_part(&self, p: u64, j: u64) -> u64 {
+        debug_assert!(j < SUPPLIERS_PER_PART);
+        let s = self.suppliers;
+        (p + j * (s / SUPPLIERS_PER_PART + (p - 1) / s)) % s + 1
+    }
+
+    /// Generates the base fact relation (projection: partkey, suppkey,
+    /// custkey, timekey; measure: quantity).
+    pub fn generate_fact(&self) -> Relation {
+        self.generate_rows(self.base_rows(), self.config.seed)
+    }
+
+    /// Generates a refresh increment of `fraction` of the base size with an
+    /// independent seed (the paper's §3.4 uses a 10% increment).
+    pub fn generate_increment(&self, fraction: f64) -> Relation {
+        let rows = ((self.base_rows() as f64) * fraction).round() as u64;
+        self.generate_rows(rows, self.config.seed ^ 0xDE1_7A)
+    }
+
+    fn generate_rows(&self, rows: u64, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = &self.attrs;
+        let mut keys = Vec::with_capacity(rows as usize * 4);
+        let mut measures = Vec::with_capacity(rows as usize);
+        for _ in 0..rows {
+            let p = rng.gen_range(1..=self.parts);
+            let j = rng.gen_range(0..SUPPLIERS_PER_PART);
+            let s = self.supplier_of_part(p, j);
+            let c = rng.gen_range(1..=self.customers);
+            let t = rng.gen_range(1..=DAYS);
+            keys.extend_from_slice(&[p, s, c, t]);
+            measures.push(rng.gen_range(1..=50i64));
+        }
+        Relation::from_fact(vec![a.partkey, a.suppkey, a.custkey, a.timekey], keys, &measures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_cube::estimate::measure_size;
+
+    fn small() -> TpcdWarehouse {
+        TpcdWarehouse::new(TpcdConfig { scale_factor: 0.005, seed: 7 })
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let w = small();
+        assert_eq!(w.parts(), 1_000);
+        assert_eq!(w.suppliers(), 50);
+        assert_eq!(w.customers(), 750);
+        assert_eq!(w.base_rows(), 30_006);
+        let w1 = TpcdWarehouse::new(TpcdConfig { scale_factor: 1.0, seed: 7 });
+        assert_eq!(w1.parts(), 200_000);
+        assert_eq!(w1.base_rows(), 6_001_215);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small().generate_fact();
+        let b = small().generate_fact();
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.states.len(), b.states.len());
+    }
+
+    #[test]
+    fn increment_differs_from_base() {
+        let w = small();
+        let base = w.generate_fact();
+        let inc = w.generate_increment(0.1);
+        assert_eq!(inc.len() as u64, (w.base_rows() as f64 * 0.1).round() as u64);
+        assert_ne!(&base.keys[..inc.keys.len().min(base.keys.len())], &inc.keys[..]);
+    }
+
+    #[test]
+    fn every_part_has_exactly_four_suppliers() {
+        let w = small();
+        for p in [1u64, 2, 499, 1000] {
+            let mut ss: Vec<u64> = (0..SUPPLIERS_PER_PART).map(|j| w.supplier_of_part(p, j)).collect();
+            ss.sort();
+            ss.dedup();
+            assert_eq!(ss.len(), 4, "part {p} suppliers {ss:?}");
+            assert!(ss.iter().all(|&s| (1..=w.suppliers()).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn partsupp_correlation_shapes_view_sizes() {
+        let w = small();
+        let fact = w.generate_fact();
+        let a = w.attrs();
+        let ps = measure_size(w.catalog(), &fact, &[a.partkey, a.suppkey]);
+        // |{p,s}| is bounded by 4·parts, far below |F| and far below p×s.
+        assert!(ps <= SUPPLIERS_PER_PART * w.parts());
+        assert!(
+            ps as f64 >= 0.8 * (SUPPLIERS_PER_PART * w.parts()) as f64,
+            "almost all partsupp pairs appear at 30k rows: {ps}"
+        );
+        let pc = measure_size(w.catalog(), &fact, &[a.partkey, a.custkey]);
+        assert!(pc as f64 > 0.9 * fact.len() as f64, "p×c is nearly row-distinct");
+    }
+
+    #[test]
+    fn keys_are_in_domain() {
+        let w = small();
+        let fact = w.generate_fact();
+        for i in 0..fact.len() {
+            let k = fact.key(i);
+            assert!((1..=w.parts()).contains(&k[0]));
+            assert!((1..=w.suppliers()).contains(&k[1]));
+            assert!((1..=w.customers()).contains(&k[2]));
+            assert!((1..=DAYS).contains(&k[3]));
+            let q = fact.states[i].sum;
+            assert!((1..=50).contains(&q));
+        }
+    }
+
+    #[test]
+    fn hierarchies_are_consistent() {
+        let w = small();
+        let c = w.catalog();
+        let a = w.attrs();
+        // Every part maps to a brand and type in range.
+        for p in 1..=w.parts() {
+            let b = c.translate(&[a.partkey], &[p], a.brand).unwrap();
+            assert!((1..=BRANDS).contains(&b));
+            let t = c.translate(&[a.partkey], &[p], a.ptype).unwrap();
+            assert!((1..=TYPES).contains(&t));
+        }
+        // day → month → year chains correctly.
+        let y = c.translate(&[a.timekey], &[DAYS], a.year).unwrap();
+        assert!((1..=YEARS).contains(&y));
+        let m1 = c.translate(&[a.timekey], &[1], a.month).unwrap();
+        assert_eq!(m1, 1);
+        assert_eq!(c.translate(&[a.month], &[13], a.year).unwrap(), 2);
+    }
+
+    #[test]
+    fn brands_cover_their_domain() {
+        let w = TpcdWarehouse::new(TpcdConfig { scale_factor: 0.01, seed: 1 });
+        let c = w.catalog();
+        let a = w.attrs();
+        let mut seen = std::collections::HashSet::new();
+        for p in 1..=w.parts() {
+            seen.insert(c.translate(&[a.partkey], &[p], a.brand).unwrap());
+        }
+        assert_eq!(seen.len() as u64, BRANDS, "2000 parts hit all 25 brands");
+    }
+}

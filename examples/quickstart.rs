@@ -1,0 +1,94 @@
+//! Quickstart: build a small warehouse, materialize views in Cubetrees,
+//! answer slice queries, and apply a bulk-incremental refresh.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cubetrees_repro::{
+    AggFn, Catalog, ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine,
+    Relation, RolapEngine, SliceQuery, ViewDef, ViewId,
+};
+
+fn main() {
+    // --- 1. Schema: a star warehouse with three dimensions (paper Fig. 1).
+    let mut catalog = Catalog::new();
+    let partkey = catalog.add_attr("partkey", 50);
+    let suppkey = catalog.add_attr("suppkey", 10);
+    let custkey = catalog.add_attr("custkey", 20);
+
+    // --- 2. Fact data: (partkey, suppkey, custkey) + quantity.
+    let mut keys = Vec::new();
+    let mut quantities = Vec::new();
+    let mut x: u64 = 2024;
+    for _ in 0..5_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.extend_from_slice(&[x % 50 + 1, (x >> 11) % 10 + 1, (x >> 23) % 20 + 1]);
+        quantities.push(((x >> 37) % 50) as i64 + 1);
+    }
+    let fact = Relation::from_fact(vec![partkey, suppkey, custkey], keys, &quantities);
+
+    // --- 3. Views to materialize (a slice of the paper's selected set V).
+    let views = vec![
+        ViewDef::new(0, vec![partkey, suppkey, custkey], AggFn::Sum),
+        ViewDef::new(1, vec![partkey, suppkey], AggFn::Sum),
+        ViewDef::new(2, vec![custkey], AggFn::Sum),
+        ViewDef::new(3, vec![], AggFn::Sum),
+    ];
+
+    // --- 4. Load the Cubetree engine (SelectMapping → sort → pack).
+    let mut cubetrees =
+        CubetreeEngine::new(catalog.clone(), CubetreeConfig::new(views.clone())).unwrap();
+    cubetrees.load(&fact).unwrap();
+    println!(
+        "loaded {} fact rows into {} Cubetrees ({} bytes)",
+        fact.len(),
+        cubetrees.forest().unwrap().trees().len(),
+        cubetrees.storage_bytes()
+    );
+
+    // --- 5. Slice queries (paper §3.1's query model).
+    // "Give me the total sales of every part bought from supplier 3" (Q1).
+    let q1 = SliceQuery::new(vec![partkey], vec![(suppkey, 3)]);
+    let mut rows = cubetrees.query(&q1).unwrap();
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    println!("\n{}:", q1.display(&catalog));
+    for r in rows.iter().take(5) {
+        println!("  part {:>3} -> {}", r.key[0], r.agg);
+    }
+    println!("  ... {} parts total", rows.len());
+
+    // The grand total lives at the origin of one tree (the `none` view).
+    let total = cubetrees.query(&SliceQuery::new(vec![], vec![])).unwrap();
+    println!("\ntotal quantity (V{{none}}): {}", total[0].agg);
+
+    // --- 6. Bulk-incremental refresh (paper §3.4): merge-pack a delta.
+    let mut dkeys = Vec::new();
+    let mut dquant = Vec::new();
+    for _ in 0..500 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        dkeys.extend_from_slice(&[x % 50 + 1, (x >> 11) % 10 + 1, (x >> 23) % 20 + 1]);
+        dquant.push(((x >> 37) % 50) as i64 + 1);
+    }
+    let delta = Relation::from_fact(vec![partkey, suppkey, custkey], dkeys, &dquant);
+    cubetrees.update(&delta).unwrap();
+    let new_total = cubetrees.query(&SliceQuery::new(vec![], vec![])).unwrap();
+    println!(
+        "after a {}-row increment: {} (+{})",
+        delta.len(),
+        new_total[0].agg,
+        new_total[0].agg - total[0].agg
+    );
+
+    // --- 7. Sanity: the conventional configuration answers identically.
+    let conv_cfg = ConventionalConfig::new(views).with_index(ViewId(0), vec![custkey, suppkey, partkey]);
+    let mut conventional = ConventionalEngine::new(catalog.clone(), conv_cfg).unwrap();
+    conventional.load(&fact).unwrap();
+    conventional.update(&delta).unwrap();
+    let conv_total = conventional.query(&SliceQuery::new(vec![], vec![])).unwrap();
+    assert_eq!(conv_total[0].agg, new_total[0].agg);
+    println!("\nconventional engine agrees: {}", conv_total[0].agg);
+    println!(
+        "storage: cubetrees {} bytes vs conventional {} bytes",
+        cubetrees.storage_bytes(),
+        conventional.storage_bytes()
+    );
+}

@@ -1,0 +1,175 @@
+//! Bulk-incremental maintenance with **deletions** — an extension the
+//! paper's framework supports naturally: a retraction is just a negative
+//! delta flowing through the same sorted merge-pack, in the spirit of the
+//! counting view-maintenance algorithms it cites ([GMS93, GL95]).
+//!
+//! Views must be materialized with a deletion-safe aggregate (`count`,
+//! `avg`, or `sum+count`) so that annihilated groups are recognizable at
+//! rest; SUM/MIN/MAX views reject retraction deltas.
+
+use cubetrees_repro::common::query::normalize_rows;
+use cubetrees_repro::{
+    AggFn, Catalog, ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine,
+    Relation, RolapEngine, SliceQuery, ViewDef,
+};
+
+fn setup(agg: AggFn) -> (Catalog, [cubetrees_repro::common::AttrId; 2], Vec<ViewDef>) {
+    let mut catalog = Catalog::new();
+    let p = catalog.add_attr("partkey", 20);
+    let s = catalog.add_attr("suppkey", 5);
+    let views = vec![
+        ViewDef::new(0, vec![p, s], agg),
+        ViewDef::new(1, vec![p], agg),
+        ViewDef::new(2, vec![], agg),
+    ];
+    (catalog, [p, s], views)
+}
+
+fn base_fact(p: cubetrees_repro::common::AttrId, s: cubetrees_repro::common::AttrId) -> Relation {
+    // Rows: (part, supp, qty)
+    let rows: &[(u64, u64, i64)] =
+        &[(1, 1, 10), (1, 2, 20), (2, 1, 5), (2, 1, 7), (3, 4, 9), (3, 4, 1), (4, 5, 2)];
+    let mut keys = Vec::new();
+    let mut measures = Vec::new();
+    for &(a, b, q) in rows {
+        keys.extend_from_slice(&[a, b]);
+        measures.push(q);
+    }
+    Relation::from_fact(vec![p, s], keys, &measures)
+}
+
+#[test]
+fn deleting_rows_updates_aggregates_in_both_engines() {
+    let (catalog, [p, s], views) = setup(AggFn::SumCount);
+    let fact = base_fact(p, s);
+
+    let mut cube = CubetreeEngine::new(catalog.clone(), CubetreeConfig::new(views.clone())).unwrap();
+    cube.load(&fact).unwrap();
+    let mut conv =
+        ConventionalEngine::new(catalog.clone(), ConventionalConfig::new(views)).unwrap();
+    conv.load(&fact).unwrap();
+
+    // Delete one of the two (2,1) rows and insert a new (5,5) row.
+    let delta = Relation::from_changes(
+        vec![p, s],
+        vec![2, 1, 5, 5],
+        &[5, 33],
+        &[true, false],
+    );
+    cube.update(&delta).unwrap();
+    conv.update(&delta).unwrap();
+
+    let q = SliceQuery::new(vec![s], vec![(p, 2)]);
+    for engine in [&cube as &dyn RolapEngine, &conv] {
+        let rows = normalize_rows(engine.query(&q).unwrap());
+        assert_eq!(rows.len(), 1, "{}", engine.name());
+        assert_eq!(rows[0].key, vec![1]);
+        assert_eq!(rows[0].agg, 7.0, "{}: 5+7 minus deleted 5", engine.name());
+    }
+    // The new group appears.
+    let q = SliceQuery::new(vec![], vec![(p, 5)]);
+    for engine in [&cube as &dyn RolapEngine, &conv] {
+        let rows = engine.query(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].agg, 33.0);
+    }
+}
+
+#[test]
+fn full_annihilation_removes_the_group() {
+    let (catalog, [p, s], views) = setup(AggFn::SumCount);
+    let fact = base_fact(p, s);
+    let mut cube = CubetreeEngine::new(catalog.clone(), CubetreeConfig::new(views.clone())).unwrap();
+    cube.load(&fact).unwrap();
+    let mut conv =
+        ConventionalEngine::new(catalog.clone(), ConventionalConfig::new(views)).unwrap();
+    conv.load(&fact).unwrap();
+
+    // Remove every row of part 3: the (3,*) groups must vanish entirely.
+    let delta = Relation::from_changes(
+        vec![p, s],
+        vec![3, 4, 3, 4],
+        &[9, 1],
+        &[true, true],
+    );
+    cube.update(&delta).unwrap();
+    conv.update(&delta).unwrap();
+
+    let per_part = SliceQuery::new(vec![p], vec![]);
+    for engine in [&cube as &dyn RolapEngine, &conv] {
+        let rows = normalize_rows(engine.query(&per_part).unwrap());
+        let parts: Vec<u64> = rows.iter().map(|r| r.key[0]).collect();
+        assert_eq!(parts, vec![1, 2, 4], "{}: part 3 must be gone", engine.name());
+    }
+    // Point query on the annihilated group returns nothing.
+    let gone = SliceQuery::new(vec![], vec![(p, 3), (s, 4)]);
+    for engine in [&cube as &dyn RolapEngine, &conv] {
+        assert!(engine.query(&gone).unwrap().is_empty(), "{}", engine.name());
+    }
+    // Annihilated entries are physically dropped from the packed tree.
+    let forest = cube.forest().unwrap();
+    let total: u64 = (0..3u32).map(|v| forest.entries_of(cubetrees_repro::ViewId(v))).sum();
+    // V{p,s}: 5 groups - 1 annihilated = 4; V{p}: 4 - 1 = 3; V{none}: 1.
+    assert_eq!(total, 4 + 3 + 1);
+}
+
+#[test]
+fn count_and_avg_views_absorb_deletions() {
+    for agg in [AggFn::Count, AggFn::Avg] {
+        let (catalog, [p, s], views) = setup(agg);
+        let fact = base_fact(p, s);
+        let mut cube = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+        cube.load(&fact).unwrap();
+        let delta =
+            Relation::from_changes(vec![p, s], vec![2, 1], &[7], &[true]);
+        cube.update(&delta).unwrap();
+        let rows = cube.query(&SliceQuery::new(vec![], vec![(p, 2)])).unwrap();
+        assert_eq!(rows.len(), 1);
+        match agg {
+            AggFn::Count => assert_eq!(rows[0].agg, 1.0),
+            AggFn::Avg => assert_eq!(rows[0].agg, 5.0),
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn plain_sum_views_reject_retractions() {
+    let (catalog, [p, s], views) = setup(AggFn::Sum);
+    let fact = base_fact(p, s);
+    let mut cube = CubetreeEngine::new(catalog.clone(), CubetreeConfig::new(views.clone())).unwrap();
+    cube.load(&fact).unwrap();
+    let mut conv =
+        ConventionalEngine::new(catalog, ConventionalConfig::new(views)).unwrap();
+    conv.load(&fact).unwrap();
+    let delta = Relation::from_changes(vec![p, s], vec![1, 1], &[10], &[true]);
+    assert!(cube.update(&delta).is_err(), "cubetrees must reject");
+    assert!(conv.update(&delta).is_err(), "conventional must reject");
+    // Insert-only deltas still work on SUM views.
+    let insert_only = Relation::from_fact(vec![p, s], vec![1, 1], &[4]);
+    cube.update(&insert_only).unwrap();
+    conv.update(&insert_only).unwrap();
+}
+
+#[test]
+fn sum_count_views_answer_like_sum_views() {
+    // SumCount's extra word changes storage, not answers.
+    let (catalog, [p, s], sc_views) = setup(AggFn::SumCount);
+    let (_, _, sum_views) = setup(AggFn::Sum);
+    let fact = base_fact(p, s);
+    let mut a = CubetreeEngine::new(catalog.clone(), CubetreeConfig::new(sc_views)).unwrap();
+    a.load(&fact).unwrap();
+    let mut b = CubetreeEngine::new(catalog, CubetreeConfig::new(sum_views)).unwrap();
+    b.load(&fact).unwrap();
+    for q in [
+        SliceQuery::new(vec![p], vec![]),
+        SliceQuery::new(vec![s], vec![(p, 1)]),
+        SliceQuery::new(vec![], vec![]),
+    ] {
+        assert_eq!(
+            normalize_rows(a.query(&q).unwrap()),
+            normalize_rows(b.query(&q).unwrap())
+        );
+    }
+    assert!(a.storage_bytes() >= b.storage_bytes());
+}

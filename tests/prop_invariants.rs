@@ -1,0 +1,246 @@
+//! Property-based tests over the core data structures and the end-to-end
+//! engines: packed trees against model filters, merge-pack against
+//! recomputation, B-trees against `BTreeMap`, and the Cubetree engine
+//! against brute-force aggregation.
+
+use cubetrees_repro::btree::BTree;
+use cubetrees_repro::common::query::{normalize_rows, QueryRow};
+use cubetrees_repro::common::{AggFn, AggState, Point, Rect};
+use cubetrees_repro::rtree::{merge_pack, LeafFormat, TreeBuilder, VecStream, ViewInfo};
+use cubetrees_repro::storage::StorageEnv;
+use cubetrees_repro::{
+    AggFn as Agg, Catalog, CubetreeConfig, CubetreeEngine, Relation, RolapEngine, SliceQuery,
+    ViewDef,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// Strategy: a set of distinct 2-d points with measures, in a small domain so
+/// collisions and multi-leaf trees both occur.
+fn points_2d(max_len: usize) -> impl Strategy<Value = Vec<((u64, u64), i64)>> {
+    proptest::collection::btree_map((1..60u64, 1..60u64), -50i64..50, 1..max_len)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+fn build_tree(
+    env: &StorageEnv,
+    name: &str,
+    pts: &[((u64, u64), i64)],
+    format: LeafFormat,
+) -> cubetrees_repro::rtree::PackedRTree {
+    let fid = env.create_file(name).unwrap();
+    let mut b = TreeBuilder::new(
+        env.pool().clone(),
+        fid,
+        2,
+        vec![ViewInfo { view: 1, arity: 2, agg: AggFn::Sum }],
+        format,
+    )
+    .unwrap();
+    let mut sorted: Vec<(Point, i64)> =
+        pts.iter().map(|&((x, y), q)| (Point::new(&[x, y], 2), q)).collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for (p, q) in sorted {
+        b.push(1, p, &AggState::from_measure(q)).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Packing then scanning returns exactly the input, in packed order,
+    /// for every leaf format.
+    #[test]
+    fn prop_pack_scan_roundtrip(pts in points_2d(300)) {
+        let env = StorageEnv::new("prop-pack").unwrap();
+        for format in [LeafFormat::ZeroElided, LeafFormat::Compressed, LeafFormat::Raw] {
+            let tree = build_tree(&env, &format!("t{:?}", format), &pts, format);
+            let mut scanner = tree.scanner();
+            let mut got = Vec::new();
+            while let Some((_, p, s)) = scanner.next_entry().unwrap() {
+                got.push(((p.coord(0), p.coord(1)), s.sum));
+            }
+            let mut expect: Vec<((u64, u64), i64)> = pts.clone();
+            expect.sort_by_key(|&((x, y), _)| (y, x));
+            prop_assert_eq!(&got, &expect, "format {:?}", format);
+        }
+    }
+
+    /// Region search equals a brute-force filter for arbitrary rectangles.
+    #[test]
+    fn prop_region_search_is_filter(
+        pts in points_2d(300),
+        x0 in 1..60u64, x1 in 1..60u64,
+        y0 in 1..60u64, y1 in 1..60u64,
+    ) {
+        let env = StorageEnv::new("prop-region").unwrap();
+        let tree = build_tree(&env, "t", &pts, LeafFormat::ZeroElided);
+        let (xlo, xhi) = (x0.min(x1), x0.max(x1));
+        let (ylo, yhi) = (y0.min(y1), y0.max(y1));
+        let mut got = Vec::new();
+        tree.search(&Rect::new(&[xlo, ylo], &[xhi, yhi]), |_, p, s| {
+            got.push(((p.coord(0), p.coord(1)), s.sum));
+            true
+        }).unwrap();
+        got.sort();
+        let mut expect: Vec<((u64, u64), i64)> = pts
+            .iter()
+            .filter(|&&((x, y), _)| x >= xlo && x <= xhi && y >= ylo && y <= yhi)
+            .cloned()
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// merge-pack(tree(A), B) has exactly the contents of tree(A ⊎ B) where
+    /// equal keys merge their aggregates.
+    #[test]
+    fn prop_merge_pack_equals_recompute(
+        base in points_2d(200),
+        delta in points_2d(100),
+    ) {
+        let env = StorageEnv::new("prop-merge").unwrap();
+        let old = build_tree(&env, "old", &base, LeafFormat::ZeroElided);
+        let mut delta_sorted: Vec<(Point, i64)> =
+            delta.iter().map(|&((x, y), q)| (Point::new(&[x, y], 2), q)).collect();
+        delta_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let items: Vec<(u32, Point, AggState)> = delta_sorted
+            .iter()
+            .map(|&(p, q)| (1u32, p, AggState::from_measure(q)))
+            .collect();
+        let mut stream = VecStream::new(items);
+        let new_fid = env.create_file("new").unwrap();
+        let merged = merge_pack(
+            env.pool().clone(),
+            &old,
+            &mut stream,
+            new_fid,
+            vec![ViewInfo { view: 1, arity: 2, agg: AggFn::Sum }],
+            LeafFormat::ZeroElided,
+        )
+        .unwrap();
+        // Model: combine maps.
+        let mut model: BTreeMap<(u64, u64), (i64, i64)> = BTreeMap::new(); // (sum, count)
+        for &((x, y), q) in base.iter().chain(delta.iter()) {
+            let e = model.entry((x, y)).or_insert((0, 0));
+            e.0 += q;
+            e.1 += 1;
+        }
+        let mut got = Vec::new();
+        let mut scanner = merged.scanner();
+        while let Some((_, p, s)) = scanner.next_entry().unwrap() {
+            got.push(((p.coord(0), p.coord(1)), s.sum));
+        }
+        got.sort();
+        let expect: Vec<((u64, u64), i64)> =
+            model.into_iter().map(|(k, (sum, _))| (k, sum)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The B+-tree behaves like a `BTreeMap` under interleaved inserts,
+    /// upserts, lookups and range scans.
+    #[test]
+    fn prop_btree_models_btreemap(
+        ops in proptest::collection::vec((0..800u64, -100i64..100), 1..400),
+        probe in 0..800u64,
+        range in (0..800u64, 0..800u64),
+    ) {
+        let env = StorageEnv::new("prop-btree").unwrap();
+        let fid = env.create_file("t").unwrap();
+        let mut tree = BTree::create(env.pool().clone(), fid, 1, 1).unwrap();
+        let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+        for &(k, v) in &ops {
+            tree.upsert(&[k], &[v as u64], |old, new| {
+                old[0] = (old[0] as i64 + new[0] as i64) as u64;
+            })
+            .unwrap();
+            *model.entry(k).or_insert(0) += v;
+        }
+        prop_assert_eq!(tree.len() as usize, model.len());
+        let got = tree.get(&[probe]).unwrap().map(|p| p[0] as i64);
+        prop_assert_eq!(got, model.get(&probe).copied());
+        let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
+        let mut got_range = Vec::new();
+        tree.scan_range(&[lo], &[hi], |k, p| {
+            got_range.push((k[0], p[0] as i64));
+            true
+        })
+        .unwrap();
+        let expect_range: Vec<(u64, i64)> =
+            model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got_range, expect_range);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// End to end: a Cubetree engine over random facts answers arbitrary
+    /// slice queries (equality + ranges) identically to brute force.
+    #[test]
+    fn prop_engine_matches_brute_force(
+        rows in proptest::collection::vec((1..12u64, 1..6u64, 1..8u64, 1..20i64), 20..150),
+        fix_p in proptest::option::of(1..12u64),
+        fix_s in proptest::option::of(1..6u64),
+        range_c in proptest::option::of((1..8u64, 1..8u64)),
+    ) {
+        let mut catalog = Catalog::new();
+        let p = catalog.add_attr("p", 12);
+        let s = catalog.add_attr("s", 6);
+        let c = catalog.add_attr("c", 8);
+        let mut keys = Vec::new();
+        let mut measures = Vec::new();
+        for &(a, b, d, q) in &rows {
+            keys.extend_from_slice(&[a, b, d]);
+            measures.push(q);
+        }
+        let fact = Relation::from_fact(vec![p, s, c], keys, &measures);
+        let views = vec![
+            ViewDef::new(0, vec![p, s, c], Agg::Sum),
+            ViewDef::new(1, vec![p, s], Agg::Sum),
+            ViewDef::new(2, vec![c], Agg::Sum),
+            ViewDef::new(3, vec![], Agg::Sum),
+        ];
+        let mut engine = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+        engine.load(&fact).unwrap();
+
+        let mut predicates = Vec::new();
+        let mut group_by = vec![];
+        if let Some(v) = fix_p { predicates.push((p, v)); } else { group_by.push(p); }
+        if let Some(v) = fix_s { predicates.push((s, v)); } else { group_by.push(s); }
+        let mut q = SliceQuery::new(group_by.clone(), predicates.clone());
+        let crange = range_c.map(|(a, b)| (a.min(b), a.max(b)));
+        if let Some((lo, hi)) = crange {
+            q = q.with_range(c, lo, hi);
+        } else {
+            q = SliceQuery::new(
+                group_by.into_iter().chain([c]).collect(),
+                predicates,
+            );
+        }
+        let got = normalize_rows(engine.query(&q).unwrap());
+        // Brute force.
+        let mut groups: HashMap<Vec<u64>, i64> = HashMap::new();
+        'rows: for i in 0..fact.len() {
+            let key = fact.key(i);
+            for (a, v) in &q.predicates {
+                if key[fact.col_of(*a).unwrap()] != *v { continue 'rows; }
+            }
+            for (a, lo, hi) in &q.ranges {
+                let v = key[fact.col_of(*a).unwrap()];
+                if v < *lo || v > *hi { continue 'rows; }
+            }
+            let g: Vec<u64> =
+                q.group_by.iter().map(|a| key[fact.col_of(*a).unwrap()]).collect();
+            *groups.entry(g).or_insert(0) += fact.states[i].sum;
+        }
+        let expect = normalize_rows(
+            groups
+                .into_iter()
+                .map(|(key, sum)| QueryRow { key, agg: sum as f64 })
+                .collect(),
+        );
+        prop_assert_eq!(got, expect, "query {:?}", q);
+    }
+}

@@ -1,0 +1,159 @@
+//! Bounded-range slice queries — the extension the paper's §3.1 anticipates
+//! ("in a more general experiment where arbitrary range queries are allowed
+//! we expect that the Cubetrees would be even faster").
+//!
+//! These tests pin correctness: both engines must agree with a brute-force
+//! evaluation for range predicates alone and mixed with equality slices,
+//! including ranges over hierarchy attributes (which cannot be pushed into
+//! the index space and are applied as residual filters).
+
+use cubetrees_repro::common::query::{normalize_rows, QueryRow};
+use cubetrees_repro::common::AggState;
+use cubetrees_repro::workload::{paper_configs, QueryGenerator};
+use cubetrees_repro::{
+    ConventionalEngine, CubetreeEngine, Relation, RolapEngine, SliceQuery, TpcdConfig,
+    TpcdWarehouse,
+};
+use std::collections::HashMap;
+
+fn brute_force(
+    w: &TpcdWarehouse,
+    fact: &Relation,
+    q: &SliceQuery,
+) -> Vec<QueryRow> {
+    let cat = w.catalog();
+    let mut groups: HashMap<Vec<u64>, AggState> = HashMap::new();
+    'rows: for i in 0..fact.len() {
+        let key = fact.key(i);
+        for (a, v) in &q.predicates {
+            if cat.translate(&fact.attrs, key, *a).unwrap() != *v {
+                continue 'rows;
+            }
+        }
+        for (a, lo, hi) in &q.ranges {
+            let v = cat.translate(&fact.attrs, key, *a).unwrap();
+            if v < *lo || v > *hi {
+                continue 'rows;
+            }
+        }
+        let g: Vec<u64> = q
+            .group_by
+            .iter()
+            .map(|a| cat.translate(&fact.attrs, key, *a).unwrap())
+            .collect();
+        groups.entry(g).or_insert_with(AggState::identity).merge(&fact.states[i]);
+    }
+    normalize_rows(
+        groups
+            .into_iter()
+            .map(|(key, st)| QueryRow { key, agg: st.finalize(cubetrees_repro::AggFn::Sum) })
+            .collect(),
+    )
+}
+
+fn engines(seed: u64) -> (TpcdWarehouse, Relation, ConventionalEngine, CubetreeEngine) {
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: 0.002, seed });
+    let fact = w.generate_fact();
+    let cfg = paper_configs(&w);
+    let mut conv = ConventionalEngine::new(w.catalog().clone(), cfg.conventional).unwrap();
+    conv.load(&fact).unwrap();
+    let mut cube = CubetreeEngine::new(w.catalog().clone(), cfg.cubetree).unwrap();
+    cube.load(&fact).unwrap();
+    (w, fact, conv, cube)
+}
+
+#[test]
+fn single_range_queries_agree() {
+    let (w, fact, conv, cube) = engines(5);
+    let a = w.attrs();
+    let queries = [
+        SliceQuery::new(vec![a.suppkey], vec![]).with_range(a.partkey, 10, 60),
+        SliceQuery::new(vec![a.partkey], vec![]).with_range(a.custkey, 1, 40),
+        SliceQuery::new(vec![], vec![]).with_range(a.suppkey, 3, 9),
+    ];
+    for q in queries {
+        let expect = brute_force(&w, &fact, &q);
+        assert_eq!(
+            normalize_rows(conv.query(&q).unwrap()),
+            expect,
+            "conventional: {}",
+            q.display(w.catalog())
+        );
+        assert_eq!(
+            normalize_rows(cube.query(&q).unwrap()),
+            expect,
+            "cubetrees: {}",
+            q.display(w.catalog())
+        );
+    }
+}
+
+#[test]
+fn mixed_equality_and_range_agree() {
+    let (w, fact, conv, cube) = engines(7);
+    let a = w.attrs();
+    let queries = [
+        SliceQuery::new(vec![a.custkey], vec![(a.suppkey, 4)]).with_range(a.partkey, 50, 200),
+        SliceQuery::new(vec![], vec![(a.partkey, 17)]).with_range(a.custkey, 10, 300),
+        SliceQuery::new(vec![a.suppkey], vec![])
+            .with_range(a.partkey, 1, 100)
+            .with_range(a.custkey, 5, 80),
+    ];
+    for q in queries {
+        let expect = brute_force(&w, &fact, &q);
+        assert_eq!(normalize_rows(conv.query(&q).unwrap()), expect);
+        assert_eq!(normalize_rows(cube.query(&q).unwrap()), expect);
+    }
+}
+
+#[test]
+fn hierarchy_range_is_residual_filtered() {
+    // A range over part.brand cannot become an index-space region on
+    // partkey; both engines must fall back to residual filtering.
+    let (w, fact, conv, cube) = engines(9);
+    let a = w.attrs();
+    let q = SliceQuery::new(vec![a.suppkey], vec![]).with_range(a.brand, 5, 12);
+    let expect = brute_force(&w, &fact, &q);
+    assert_eq!(normalize_rows(conv.query(&q).unwrap()), expect);
+    assert_eq!(normalize_rows(cube.query(&q).unwrap()), expect);
+}
+
+#[test]
+fn random_range_batches_agree() {
+    let (w, fact, conv, cube) = engines(11);
+    let a = w.attrs();
+    let mut g = QueryGenerator::new(w.catalog(), vec![a.partkey, a.suppkey, a.custkey], 3);
+    for mask in 1..8usize {
+        for q in g.range_batch_on(mask, 10, 0.2) {
+            let expect = brute_force(&w, &fact, &q);
+            assert_eq!(
+                normalize_rows(conv.query(&q).unwrap()),
+                expect,
+                "{}",
+                q.display(w.catalog())
+            );
+            assert_eq!(
+                normalize_rows(cube.query(&q).unwrap()),
+                expect,
+                "{}",
+                q.display(w.catalog())
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_range_equals_equality() {
+    let (w, _fact, conv, cube) = engines(13);
+    let a = w.attrs();
+    let eq = SliceQuery::new(vec![a.suppkey], vec![(a.partkey, 25)]);
+    let rg = SliceQuery::new(vec![a.suppkey], vec![]).with_range(a.partkey, 25, 25);
+    assert_eq!(
+        normalize_rows(conv.query(&eq).unwrap()),
+        normalize_rows(conv.query(&rg).unwrap())
+    );
+    assert_eq!(
+        normalize_rows(cube.query(&eq).unwrap()),
+        normalize_rows(cube.query(&rg).unwrap())
+    );
+}
