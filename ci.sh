@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. Dependencies are vendored under
+# vendor/, so no registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline --workspace --all-targets -- -D warnings

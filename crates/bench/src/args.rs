@@ -13,11 +13,20 @@ pub struct BenchArgs {
     pub pool_frac: f64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Worker threads for the Cubetree sort→pack pipeline (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { sf: 0.01, seed: 42, queries: 100, pool_frac: 32.0 / 602.0, json: None }
+        BenchArgs {
+            sf: 0.01,
+            seed: 42,
+            queries: 100,
+            pool_frac: 32.0 / 602.0,
+            json: None,
+            threads: 1,
+        }
     }
 }
 
@@ -49,9 +58,16 @@ impl BenchArgs {
                         value("--pool-frac").parse().expect("--pool-frac takes a float")
                 }
                 "--json" => out.json = Some(value("--json")),
+                "--threads" => {
+                    out.threads = value("--threads")
+                        .parse::<usize>()
+                        .expect("--threads takes an int")
+                        .max(1)
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--sf F] [--seed N] [--queries N] [--pool-frac F] [--json PATH]"
+                        "usage: [--sf F] [--seed N] [--queries N] [--pool-frac F] \
+                         [--json PATH] [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -89,6 +105,15 @@ mod tests {
         assert_eq!(a.queries, 50);
         assert_eq!(a.pool_frac, 0.1);
         assert!(a.json.is_none());
+        assert_eq!(a.threads, 1);
+    }
+
+    #[test]
+    fn threads_parse_and_clamp() {
+        let a = BenchArgs::parse_from(["--threads", "4"].iter().map(|s| s.to_string()));
+        assert_eq!(a.threads, 4);
+        let z = BenchArgs::parse_from(["--threads", "0"].iter().map(|s| s.to_string()));
+        assert_eq!(z.threads, 1, "zero clamps to sequential");
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn main() {
         "buffer pool",
         format!("{} pages", engines.conventional.env().pool().capacity()),
     );
+    report.meta("threads", args.threads);
 
     let bd = engines.conventional.load_breakdown();
     let s = report.section(

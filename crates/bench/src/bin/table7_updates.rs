@@ -25,6 +25,7 @@ fn main() {
     let mut report = Report::new("table7_updates", "Table 7", args.sf);
     report.meta("base rows", engines.fact.len());
     report.meta("increment rows (10%)", delta.len());
+    report.meta("threads", args.threads);
 
     // 1. Conventional incremental (row-at-a-time).
     let conv = &mut engines.conventional;

@@ -47,6 +47,7 @@ pub fn build_engines(args: &BenchArgs) -> Result<Engines> {
     let pool = args.pool_pages(estimate_data_bytes(fact.len() as u64));
     setup.conventional.pool_pages = pool;
     setup.cubetree.pool_pages = pool;
+    setup.cubetree.threads = args.threads;
 
     let mut conventional =
         ConventionalEngine::new(warehouse.catalog().clone(), setup.conventional)?;

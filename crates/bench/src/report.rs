@@ -1,9 +1,11 @@
 //! Report formatting: aligned console tables plus optional JSON output.
-
-use serde::Serialize;
+//!
+//! JSON is emitted by a small hand-rolled serializer (the build runs offline
+//! with no serde available); the shape matches what serde's derive would
+//! produce for these structs, so downstream tooling is unaffected.
 
 /// A generic experiment report: header metadata plus named sections of rows.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct Report {
     /// Experiment id, e.g. `"table6_load"`.
     pub experiment: String,
@@ -18,7 +20,7 @@ pub struct Report {
 }
 
 /// One titled table of rows.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct Section {
     /// Section title.
     pub title: String,
@@ -65,11 +67,71 @@ impl Report {
             print_table(&s.columns, &s.rows);
         }
         if let Some(path) = json_path {
-            let json = serde_json::to_string_pretty(self).expect("report serializes");
-            std::fs::write(path, json).expect("write json report");
+            std::fs::write(path, self.to_json()).expect("write json report");
             println!("\n(json written to {path})");
         }
         println!();
+    }
+
+    /// Serializes the report as pretty-printed JSON (serde-derive shape).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        json_kv(&mut out, 1, "experiment", &json_str(&self.experiment), false);
+        json_kv(&mut out, 1, "paper_ref", &json_str(&self.paper_ref), false);
+        json_kv(&mut out, 1, "sf", &json_f64(self.sf), false);
+        let meta_items: Vec<String> = self
+            .meta
+            .iter()
+            .map(|(k, v)| format!("[{}, {}]", json_str(k), json_str(v)))
+            .collect();
+        json_kv(&mut out, 1, "meta", &format!("[{}]", meta_items.join(", ")), false);
+        let sections: Vec<String> = self.sections.iter().map(Section::to_json).collect();
+        json_kv(&mut out, 1, "sections", &format!("[{}]", sections.join(", ")), true);
+        out.push('}');
+        out
+    }
+}
+
+fn json_kv(out: &mut String, indent: usize, key: &str, value: &str, last: bool) {
+    out.push_str(&"  ".repeat(indent));
+    out.push_str(&json_str(key));
+    out.push_str(": ");
+    out.push_str(value);
+    if !last {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Round-trippable, and integral values keep a trailing `.0` as JSON
+        // number formatting conventions expect.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
     }
 }
 
@@ -78,6 +140,24 @@ impl Section {
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.columns.len());
         self.rows.push(cells);
+    }
+
+    fn to_json(&self) -> String {
+        let cols: Vec<String> = self.columns.iter().map(|c| json_str(c)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| json_str(c)).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\"title\": {}, \"columns\": [{}], \"rows\": [{}]}}",
+            json_str(&self.title),
+            cols.join(", "),
+            rows.join(", ")
+        )
     }
 }
 
@@ -151,8 +231,17 @@ mod tests {
         r.meta("rows", 123);
         let s = r.section("sec", &["a", "b"]);
         s.row(vec!["1".into(), "2".into()]);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("Table X"));
-        assert!(json.contains("sec"));
+        let json = r.to_json();
+        assert!(json.contains("\"Table X\""));
+        assert!(json.contains("\"sec\""));
+        assert!(json.contains("[\"1\", \"2\"]"));
+        assert!(json.contains("\"sf\": 0.01"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 }

@@ -178,7 +178,7 @@ impl AggState {
                 if self.count == 0 {
                     0
                 } else {
-                    self.sum / self.count as i64
+                    self.sum / self.count
                 }
             }
         }

@@ -72,14 +72,14 @@ mod tests {
         assert_eq!(CtError::corrupt("bad page").to_string(), "corrupt data: bad page");
         assert_eq!(CtError::unsupported("x").to_string(), "unsupported: x");
         assert_eq!(CtError::invalid("y").to_string(), "invalid argument: y");
-        let io = CtError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = CtError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
     }
 
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error;
-        let e = CtError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = CtError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
         assert!(CtError::corrupt("x").source().is_none());
     }

@@ -161,7 +161,7 @@ impl Rect {
 
     /// The degenerate rectangle covering exactly one point.
     pub fn from_point(p: &Point) -> Self {
-        Rect { lo: p.coords, hi: p.coords, dims: p.dims as u8 }
+        Rect { lo: p.coords, hi: p.coords, dims: p.dims }
     }
 
     /// An "empty" rectangle suitable as the identity for [`Rect::expand`]:

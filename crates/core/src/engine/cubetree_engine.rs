@@ -8,7 +8,7 @@ use ct_common::{AttrId, Catalog, CostModel, CtError, Result, SliceQuery, ViewDef
 use ct_cube::Relation;
 use ct_rtree::LeafFormat;
 use ct_storage::env::DEFAULT_POOL_PAGES;
-use ct_storage::StorageEnv;
+use ct_storage::{Parallelism, StorageEnv};
 
 /// Configuration of a [`CubetreeEngine`].
 #[derive(Clone, Debug)]
@@ -26,6 +26,9 @@ pub struct CubetreeConfig {
     pub pool_pages: usize,
     /// I/O cost model for simulated time.
     pub cost: CostModel,
+    /// Worker threads for the sort→pack build and refresh pipelines.
+    /// `1` (the default) reproduces the sequential pipeline bit for bit.
+    pub threads: usize,
 }
 
 impl CubetreeConfig {
@@ -37,12 +40,19 @@ impl CubetreeConfig {
             format: LeafFormat::default(),
             pool_pages: DEFAULT_POOL_PAGES,
             cost: CostModel::default(),
+            threads: 1,
         }
     }
 
     /// Adds a replica.
     pub fn with_replica(mut self, base: ViewId, projection: Vec<AttrId>) -> Self {
         self.replicas.push((base, projection));
+        self
+    }
+
+    /// Sets the build/refresh worker-thread budget (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -59,7 +69,12 @@ pub struct CubetreeEngine {
 impl CubetreeEngine {
     /// Creates an engine (storage environment included) for `catalog`.
     pub fn new(catalog: Catalog, config: CubetreeConfig) -> Result<Self> {
-        let env = StorageEnv::with_config("cubetree", config.pool_pages, config.cost)?;
+        let env = StorageEnv::with_config_parallel(
+            "cubetree",
+            config.pool_pages,
+            config.cost,
+            Parallelism::new(config.threads),
+        )?;
         Ok(CubetreeEngine { env, catalog, config, forest: None })
     }
 

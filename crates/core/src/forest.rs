@@ -12,13 +12,76 @@
 //! orders "to further enhance the performance") is modeled as extra
 //! *placements*: physically distinct views with permuted projection lists
 //! that answer queries for the same logical view.
+//!
+//! ## Parallel sort→pack pipeline
+//!
+//! Each Cubetree of the SelectMapping forest is an independent sort+pack (on
+//! build) or delta-compute+merge-pack (on refresh) job. When the
+//! environment's [`ct_storage::Parallelism`] budget allows, jobs are
+//! dispatched over a bounded pool of scoped worker threads. Every job runs
+//! against a *private* buffer pool holding a fixed share of the
+//! environment's frames, so each file's page traffic is a pure function of
+//! its job — the packed bytes *and* the simulated-I/O totals are identical
+//! for every worker count (`threads = 1` reproduces the sequential pipeline
+//! bit for bit). The view-computation DAG stays sequential: its steps feed
+//! one another, and its inner sorts already parallelize run generation.
 
 use crate::select_mapping::{select_mapping, MappingPlan};
 use ct_common::{AttrId, Catalog, CtError, Point, Result, ViewDef, ViewId};
 use ct_cube::compute::packed_sort_cols;
 use ct_cube::{compute_view, plan_computation, PlanSource, Relation, SizeEstimator};
 use ct_rtree::{merge_pack, LeafFormat, PackedRTree, TreeBuilder, VecStream, ViewInfo};
-use ct_storage::{FileId, StorageEnv};
+use ct_storage::{BufferPool, FileId, StorageEnv};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One boxed per-tree job.
+type Job<'a> = Box<dyn FnOnce() -> Result<()> + Send + 'a>;
+
+/// Runs independent jobs on at most `threads` scoped workers (inline when
+/// sequential). Jobs may finish in any order but must be deterministic in
+/// isolation; on failure the error of the lowest-indexed failing job wins,
+/// so error reporting is deterministic too.
+fn run_jobs(threads: usize, jobs: Vec<Job<'_>>) -> Result<()> {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            job()?;
+        }
+        return Ok(());
+    }
+    let workers = threads.min(jobs.len());
+    let slots: Vec<Mutex<Option<Job<'_>>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let errors: Vec<Mutex<Option<CtError>>> =
+        slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= slots.len() {
+                    break;
+                }
+                let job = slots[i].lock().unwrap().take().expect("each job claimed once");
+                if let Err(e) = job() {
+                    *errors[i].lock().unwrap() = Some(e);
+                }
+            });
+        }
+    });
+    for e in errors {
+        if let Some(e) = e.into_inner().unwrap() {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Frames each per-tree job's private pool gets: an even share of the
+/// environment's pool. A function of the forest shape only — never of the
+/// worker count — so counter totals stay parallelism-independent.
+fn job_pool_pages(env: &StorageEnv, tree_count: usize) -> usize {
+    (env.pool().capacity() / tree_count.max(1)).max(64)
+}
 
 /// One physical view placement in the forest.
 #[derive(Clone, Debug)]
@@ -57,10 +120,10 @@ impl CubetreeForest {
         format: LeafFormat,
     ) -> Result<CubetreeForest> {
         // Materialize replica definitions with fresh ids.
-        let mut next_id = views.iter().map(|v| v.id.0).max().map_or(0, |m| m + 1);
+        let base_id = views.iter().map(|v| v.id.0).max().map_or(0, |m| m + 1);
         let mut all_defs: Vec<ViewDef> = views.to_vec();
         let mut logical: Vec<ViewId> = views.iter().map(|v| v.id).collect();
-        for (base, projection) in replicas {
+        for (off, (base, projection)) in replicas.iter().enumerate() {
             let base_def = views
                 .iter()
                 .find(|v| v.id == *base)
@@ -70,9 +133,8 @@ impl CubetreeForest {
                     "replica projection must be a permutation of its base view",
                 ));
             }
-            all_defs.push(ViewDef::new(next_id, projection.clone(), base_def.agg));
+            all_defs.push(ViewDef::new(base_id + off as u32, projection.clone(), base_def.agg));
             logical.push(*base);
-            next_id += 1;
         }
 
         // Allocate the forest.
@@ -114,12 +176,19 @@ impl CubetreeForest {
             relations[i] = Some(rel);
         }
 
-        // Pack each tree.
-        let mut trees = Vec::with_capacity(plan.trees.len());
-        let mut fids = Vec::with_capacity(plan.trees.len());
+        // Pack each tree: one independent job per Cubetree, dispatched over
+        // the environment's thread budget. Files are created and metadata
+        // assembled on this thread, in tree order, so shared state is touched
+        // deterministically; each job packs through its own private pool.
+        let tree_count = plan.trees.len();
+        let pool_share = job_pool_pages(env, tree_count);
+        let mut fids = Vec::with_capacity(tree_count);
         let mut placements = Vec::with_capacity(all_defs.len());
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(tree_count);
+        let mut job_pools: Vec<(Arc<BufferPool>, FileId)> = Vec::with_capacity(tree_count);
         for (t, spec) in plan.trees.iter().enumerate() {
             let fid = env.create_file(&format!("cubetree-{t}"))?;
+            fids.push(fid);
             let infos: Vec<ViewInfo> = spec
                 .views
                 .iter()
@@ -128,23 +197,45 @@ impl CubetreeForest {
                     ViewInfo { view: id.0, arity: def.arity() as u8, agg: def.agg }
                 })
                 .collect();
-            let mut builder =
-                TreeBuilder::new(env.pool().clone(), fid, spec.dims, infos, format)?;
-            for id in &spec.views {
-                let idx = all_defs.iter().position(|d| d.id == *id).unwrap();
-                let rel = relations[idx].as_ref().expect("all views computed");
-                for r in 0..rel.len() {
-                    builder.push(id.0, Point::new(rel.key(r), spec.dims), &rel.states[r])?;
-                }
-                env.stats().add_tuples(rel.len() as u64);
+            let idxs: Vec<usize> = spec
+                .views
+                .iter()
+                .map(|id| all_defs.iter().position(|d| d.id == *id).unwrap())
+                .collect();
+            for &idx in &idxs {
                 placements.push(PlacedView {
                     def: all_defs[idx].clone(),
                     logical: logical[idx],
                     tree: t,
                 });
             }
-            trees.push(builder.finish()?);
-            fids.push(fid);
+            let spec = spec.clone();
+            let relations = &relations;
+            let job_pool = env.new_private_pool(pool_share);
+            let job_fid = job_pool.register(env.pool().file(fid));
+            job_pools.push((job_pool.clone(), job_fid));
+            jobs.push(Box::new(move || {
+                let mut builder =
+                    TreeBuilder::new(job_pool.clone(), job_fid, spec.dims, infos, format)?;
+                for (slot, id) in spec.views.iter().enumerate() {
+                    let rel = relations[idxs[slot]].as_ref().expect("all views computed");
+                    for r in 0..rel.len() {
+                        builder.push(id.0, Point::new(rel.key(r), spec.dims), &rel.states[r])?;
+                    }
+                    env.stats().add_tuples(rel.len() as u64);
+                }
+                builder.finish()?;
+                job_pool.flush_all()?;
+                Ok(())
+            }));
+        }
+        run_jobs(env.parallelism().threads, jobs)?;
+        // Adopt each job pool's warm frames into the shared pool and rebind
+        // the packed trees to it, in tree order.
+        let mut trees = Vec::with_capacity(tree_count);
+        for (&fid, (job_pool, job_fid)) in fids.iter().zip(&job_pools) {
+            env.pool().absorb_clean(job_pool, *job_fid, fid)?;
+            trees.push(PackedRTree::open(env.pool().clone(), fid)?);
         }
         Ok(CubetreeForest { format, plan, trees, fids, placements, generation: 0 })
     }
@@ -204,44 +295,73 @@ impl CubetreeForest {
             }
         }
         self.generation += 1;
-        for (t, spec) in self.plan.trees.clone().iter().enumerate() {
-            // Build the tree's merged delta stream: views in spec order
-            // (ascending arity) are globally packed-sorted.
-            let mut items: Vec<(u32, Point, ct_common::AggState)> = Vec::new();
-            for id in &spec.views {
-                let placement = self
-                    .placements
-                    .iter()
-                    .find(|p| p.def.id == *id)
-                    .expect("placement exists")
-                    .clone();
-                let rel = compute_view(
-                    env,
-                    catalog,
-                    delta_fact,
-                    &placement.def.projection,
-                    &packed_sort_cols(placement.def.arity()),
-                )?;
-                for r in 0..rel.len() {
-                    items.push((id.0, Point::new(rel.key(r), spec.dims), rel.states[r]));
-                }
-            }
-            env.stats().add_tuples(items.len() as u64);
-            let mut delta = VecStream::new(items);
+        // Flush the shared pool so each job's private pool reads the current
+        // on-disk bytes of the tree it is refreshing.
+        env.pool().flush_all()?;
+        let specs = self.plan.trees.clone();
+        let tree_count = specs.len();
+        let pool_share = job_pool_pages(env, tree_count);
+        let format = self.format;
+        let mut new_fids = Vec::with_capacity(tree_count);
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(tree_count);
+        let mut job_pools: Vec<(Arc<BufferPool>, FileId)> = Vec::with_capacity(tree_count);
+        for (t, spec) in specs.iter().enumerate() {
             let new_fid =
                 env.create_file(&format!("cubetree-{t}-gen{}", self.generation))?;
+            new_fids.push(new_fid);
+            let old_fid = self.fids[t];
             let infos: Vec<ViewInfo> =
                 self.trees[t].views().iter().map(|(info, _)| *info).collect();
-            let new_tree = merge_pack(
-                env.pool().clone(),
-                &self.trees[t],
-                &mut delta,
-                new_fid,
-                infos,
-                self.format,
-            )?;
+            let defs: Vec<ViewDef> = spec
+                .views
+                .iter()
+                .map(|id| {
+                    self.placements
+                        .iter()
+                        .find(|p| p.def.id == *id)
+                        .expect("placement exists")
+                        .def
+                        .clone()
+                })
+                .collect();
+            let spec = spec.clone();
+            let job_pool = env.new_private_pool(pool_share);
+            let job_old_fid = job_pool.register(env.pool().file(old_fid));
+            let job_new_fid = job_pool.register(env.pool().file(new_fid));
+            job_pools.push((job_pool.clone(), job_new_fid));
+            jobs.push(Box::new(move || {
+                // Build the tree's merged delta stream: views in spec order
+                // (ascending arity) are globally packed-sorted.
+                let mut items: Vec<(u32, Point, ct_common::AggState)> = Vec::new();
+                for (def, id) in defs.iter().zip(&spec.views) {
+                    let rel = compute_view(
+                        env,
+                        catalog,
+                        delta_fact,
+                        &def.projection,
+                        &packed_sort_cols(def.arity()),
+                    )?;
+                    for r in 0..rel.len() {
+                        items.push((id.0, Point::new(rel.key(r), spec.dims), rel.states[r]));
+                    }
+                }
+                env.stats().add_tuples(items.len() as u64);
+                let mut delta = VecStream::new(items);
+                let old_tree = PackedRTree::open(job_pool.clone(), job_old_fid)?;
+                merge_pack(job_pool.clone(), &old_tree, &mut delta, job_new_fid, infos, format)?;
+                job_pool.flush_all()?;
+                Ok(())
+            }));
+        }
+        run_jobs(env.parallelism().threads, jobs)?;
+        // Swap the freshly packed generation in, in tree order, adopting each
+        // job pool's warm frames so the shared pool stays as warm as a
+        // sequential merge would have left it.
+        for (t, &new_fid) in new_fids.iter().enumerate() {
             let old_fid = self.fids[t];
-            self.trees[t] = new_tree;
+            let (job_pool, job_new_fid) = &job_pools[t];
+            env.pool().absorb_clean(job_pool, *job_new_fid, new_fid)?;
+            self.trees[t] = PackedRTree::open(env.pool().clone(), new_fid)?;
             self.fids[t] = new_fid;
             env.remove_file(old_fid)?;
         }

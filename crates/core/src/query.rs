@@ -25,12 +25,16 @@ use std::collections::HashMap;
 /// access path may have already applied some), groups by the query's
 /// `group_by` list and merges aggregate states.
 pub struct RollupAggregator<'a> {
-    group_resolvers: Vec<(usize, Vec<&'a Hierarchy>)>,
-    pred_resolvers: Vec<((usize, Vec<&'a Hierarchy>), u64)>,
-    range_resolvers: Vec<((usize, Vec<&'a Hierarchy>), u64, u64)>,
+    group_resolvers: Vec<Resolver<'a>>,
+    pred_resolvers: Vec<(Resolver<'a>, u64)>,
+    range_resolvers: Vec<(Resolver<'a>, u64, u64)>,
     groups: HashMap<Vec<u64>, AggState>,
     accepted: u64,
 }
+
+/// Source column index plus the hierarchy chain that maps it to a query
+/// attribute.
+type Resolver<'a> = (usize, Vec<&'a Hierarchy>);
 
 impl<'a> RollupAggregator<'a> {
     /// Creates an aggregator for `query` over rows whose key columns are

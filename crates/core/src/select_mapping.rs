@@ -61,18 +61,15 @@ pub fn select_mapping(views: &[ViewDef]) -> MappingPlan {
     // All arity-0 views (normally just `none`) ride along in the first tree.
     let zero_arity: Vec<ViewId> = sets[0].drain(..).collect();
 
-    loop {
-        // Highest arity with unmapped views.
-        let Some(arity) = (1..=max_arity).rev().find(|&i| !sets[i].is_empty()) else {
-            break;
-        };
+    // Highest arity with unmapped views drives each round.
+    while let Some(arity) = (1..=max_arity).rev().find(|&i| !sets[i].is_empty()) {
         let mut tree = TreeSpec { dims: arity, views: Vec::new() };
         if plan.trees.is_empty() {
             tree.views.extend(zero_arity.iter().copied());
         }
         // One view from each non-empty S_j, ascending so storage order holds.
-        for j in 1..=arity {
-            if let Some(v) = sets[j].pop_front() {
+        for set in sets.iter_mut().take(arity + 1).skip(1) {
+            if let Some(v) = set.pop_front() {
                 tree.views.push(v);
             }
         }

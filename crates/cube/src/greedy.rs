@@ -129,7 +129,7 @@ pub fn one_greedy(
             }
             let benefit = state.view_benefit_with_lookahead(node, &queries, &current_cost);
             if benefit > config.min_benefit
-                && best.as_ref().map_or(true, |(_, b, _)| benefit > *b)
+                && best.as_ref().is_none_or(|(_, b, _)| benefit > *b)
             {
                 best = Some((Structure::View { node }, benefit, space));
             }
@@ -146,7 +146,7 @@ pub fn one_greedy(
                 }
                 let benefit = state.index_benefit(node, &order, &queries, &current_cost);
                 if benefit > config.min_benefit
-                    && best.as_ref().map_or(true, |(_, b, _)| benefit > *b)
+                    && best.as_ref().is_none_or(|(_, b, _)| benefit > *b)
                 {
                     best = Some((Structure::Index { node, order }, benefit, space));
                 }

@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn rid_packing_roundtrip() {
-        let rid = Rid { page: 0x1234_5678_9A, slot: 0xBEEF };
+        let rid = Rid { page: 0x12_3456_789A, slot: 0xBEEF };
         assert_eq!(Rid::from_u64(rid.to_u64()), rid);
     }
 

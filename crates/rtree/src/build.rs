@@ -155,7 +155,7 @@ impl TreeBuilder {
         format: LeafFormat,
         order: PackOrder,
     ) -> Result<Self> {
-        assert!(dims >= 1 && dims <= ct_common::MAX_DIMS);
+        assert!((1..=ct_common::MAX_DIMS).contains(&dims));
         if order == PackOrder::Morton && views.len() > 1 {
             return Err(CtError::invalid(
                 "Morton packing interleaves views and is limited to single-view trees                  (the paper's argument against space-filling curves, §2.4)",
@@ -505,5 +505,17 @@ mod tests {
         assert!(!less_msb(2, 1));
         assert!(!less_msb(3, 2), "same msb");
         assert!(less_msb(0b0111, 0b1000));
+    }
+
+    #[test]
+    fn builder_and_tree_cross_thread_contract() {
+        // The parallel forest pipeline moves builders into per-tree worker
+        // threads and shares finished trees across them; both must stay Send
+        // (and the read-only tree Sync). A compile-time contract check.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<TreeBuilder>();
+        assert_send::<crate::tree::PackedRTree>();
+        assert_sync::<crate::tree::PackedRTree>();
     }
 }

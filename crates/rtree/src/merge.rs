@@ -78,6 +78,25 @@ pub fn merge_pack(
     let mut old_scan = old.scanner();
     let mut a = old_scan.next_entry()?;
     let mut b = delta.next_entry()?;
+    // The linear merge is only correct over a strictly increasing delta; an
+    // out-of-order (or duplicated) delta entry would be spliced into the
+    // wrong leaf run. Guard every pull rather than trusting the caller.
+    let mut prev_delta: Option<(u32, Point)> = None;
+    let mut check_delta = move |e: &Option<(u32, Point, AggState)>| -> Result<()> {
+        if let Some((view, point, _)) = e {
+            if let Some((pv, pp)) = &prev_delta {
+                if pp.packed_cmp(point).then(pv.cmp(view)) != Ordering::Less {
+                    return Err(ct_common::CtError::invalid(
+                        "merge-pack delta stream is not strictly increasing in packed \
+                         (point, view) order",
+                    ));
+                }
+            }
+            prev_delta = Some((*view, *point));
+        }
+        Ok(())
+    };
+    check_delta(&b)?;
     loop {
         match (&a, &b) {
             (None, None) => break,
@@ -88,6 +107,7 @@ pub fn merge_pack(
             (None, Some(eb)) => {
                 builder.push(eb.0, eb.1, &eb.2)?;
                 b = delta.next_entry()?;
+                check_delta(&b)?;
             }
             (Some(ea), Some(eb)) => match entry_cmp(ea, eb) {
                 Ordering::Less => {
@@ -97,6 +117,7 @@ pub fn merge_pack(
                 Ordering::Greater => {
                     builder.push(eb.0, eb.1, &eb.2)?;
                     b = delta.next_entry()?;
+                    check_delta(&b)?;
                 }
                 Ordering::Equal => {
                     let mut merged = ea.2;
@@ -108,6 +129,7 @@ pub fn merge_pack(
                     }
                     a = old_scan.next_entry()?;
                     b = delta.next_entry()?;
+                    check_delta(&b)?;
                 }
             },
         }
@@ -228,6 +250,52 @@ mod tests {
                 (9, vec![2, 3], 7),
             ]
         );
+    }
+
+    #[test]
+    fn out_of_order_delta_is_rejected() {
+        let env = StorageEnv::new("merge-order").unwrap();
+        let views = vec![sum_view(1, 2)];
+        let old = build(&env, "old", &[(1, vec![1, 1], 10)], views.clone(), 2);
+        // (2,2) precedes (1,2) in packed (y,x) order — the stream regresses.
+        let mut delta = VecStream::new(vec![
+            (1, Point::new(&[2, 2], 2), AggState::from_measure(1)),
+            (1, Point::new(&[1, 2], 2), AggState::from_measure(1)),
+        ]);
+        let new_fid = env.create_file("new").unwrap();
+        let err = match merge_pack(
+            env.pool().clone(),
+            &old,
+            &mut delta,
+            new_fid,
+            views,
+            LeafFormat::Compressed,
+        ) {
+            Ok(_) => panic!("out-of-order delta must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("strictly increasing"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicate_delta_entry_is_rejected() {
+        let env = StorageEnv::new("merge-dup").unwrap();
+        let views = vec![sum_view(1, 2)];
+        let old = build(&env, "old", &[(1, vec![1, 1], 10)], views.clone(), 2);
+        let mut delta = VecStream::new(vec![
+            (1, Point::new(&[2, 2], 2), AggState::from_measure(1)),
+            (1, Point::new(&[2, 2], 2), AggState::from_measure(1)),
+        ]);
+        let new_fid = env.create_file("new").unwrap();
+        assert!(merge_pack(
+            env.pool().clone(),
+            &old,
+            &mut delta,
+            new_fid,
+            views,
+            LeafFormat::Compressed,
+        )
+        .is_err());
     }
 
     #[test]

@@ -134,10 +134,11 @@ impl PackedRTree {
         } else {
             let node = self.pool.with_page(self.fid, pid, |p| InternalRNode::read(p, self.meta.dims))??;
             for (mbr, child) in &node.entries {
-                if !mbr.is_empty() && mbr.intersects(region) {
-                    if !self.search_node(PageId(*child), region, f)? {
-                        return Ok(false);
-                    }
+                if !mbr.is_empty()
+                    && mbr.intersects(region)
+                    && !self.search_node(PageId(*child), region, f)?
+                {
+                    return Ok(false);
                 }
             }
             Ok(true)

@@ -21,7 +21,9 @@ pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads an LEB128 varint starting at `buf[*pos]`, advancing `pos`.
-/// Returns `None` on truncated input.
+/// Returns `None` on truncated input or on a 10-byte encoding whose final
+/// byte carries payload bits beyond bit 63 (which a shift would silently
+/// truncate into a wrong value).
 #[inline]
 pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v = 0u64;
@@ -29,7 +31,13 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     loop {
         let &byte = buf.get(*pos)?;
         *pos += 1;
-        v |= ((byte & 0x7F) as u64) << shift;
+        let payload = (byte & 0x7F) as u64;
+        // At shift 63 only the u64's top bit remains; any higher payload bit
+        // overflows the value.
+        if shift == 63 && payload > 1 {
+            return None;
+        }
+        v |= payload << shift;
         if byte & 0x80 == 0 {
             return Some(v);
         }
@@ -92,6 +100,30 @@ mod tests {
         buf.pop();
         let mut pos = 0;
         assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn non_canonical_overflow_is_none() {
+        // Nine continuation bytes put the tenth byte at shift 63, where only
+        // its low bit fits in a u64. Any higher payload bit must be rejected
+        // rather than silently truncated.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x7F);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+        // The canonical 10-byte encodings still decode.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x01);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Some(1u64 << 63));
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x01);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Some(u64::MAX));
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! *minimal* forest beats one-tree-per-view. Dirty frames are written back on
 //! eviction and on [`BufferPool::flush_all`]; reads absorbed by the pool are
 //! counted as buffer hits rather than physical I/O.
+//!
+//! The pool is safe to share across threads: all frame/map/file state sits
+//! behind one mutex, counters are atomic, and page callbacks run under the
+//! lock (so they must not re-enter the pool). For *deterministic* counter
+//! totals under the parallel build pipeline, concurrent jobs use private
+//! pools (see `StorageEnv::new_private_pool`) rather than interleaving
+//! evictions in a shared one.
 
 use crate::io::IoStats;
 use crate::page::{Page, PageId};
@@ -154,6 +161,46 @@ impl BufferPool {
             .take()
             .ok_or_else(|| CtError::invalid("file already removed"))?;
         file.delete()
+    }
+
+    /// Adopts `from`'s cached pages of `from_fid` into this pool under
+    /// `to_fid`, in `from`'s frame order, leaving this pool as warm as if it
+    /// had produced those pages itself. Pages are installed clean — the
+    /// caller must have flushed `from` first — so no I/O is charged beyond
+    /// any dirty victims this pool evicts to make room. Called from one
+    /// thread at a time per target pool to keep the cache state
+    /// deterministic.
+    pub fn absorb_clean(&self, from: &BufferPool, from_fid: FileId, to_fid: FileId) -> Result<()> {
+        let src = from.inner.lock();
+        let mut inner = self.inner.lock();
+        if inner.files[to_fid.0 as usize].is_none() {
+            return Err(CtError::invalid("absorbing into a removed file"));
+        }
+        for i in 0..src.frames.len() {
+            let f = &src.frames[i];
+            if !f.occupied || f.key.0 != from_fid.0 {
+                continue;
+            }
+            if f.dirty {
+                return Err(CtError::invalid("absorb_clean requires a flushed source pool"));
+            }
+            let key = (to_fid.0, f.key.1);
+            let idx = match inner.map.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = self.find_victim(&mut inner)?;
+                    inner.map.insert(key, idx);
+                    idx
+                }
+            };
+            let frame = &mut inner.frames[idx];
+            frame.key = key;
+            frame.page.bytes_mut().copy_from_slice(src.frames[i].page.bytes());
+            frame.dirty = false;
+            frame.referenced = true;
+            frame.occupied = true;
+        }
+        Ok(())
     }
 
     /// Total allocated bytes across live files.
@@ -360,6 +407,71 @@ mod more_tests {
         pool.flush_all().unwrap();
         let w2 = stats.snapshot().seq_writes + stats.snapshot().rand_writes;
         assert_eq!(w1, w2, "clean frames must not be rewritten");
+    }
+
+    #[test]
+    fn concurrent_access_from_many_threads_is_safe() {
+        let dir = TempDir::new("buffer-mt").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = Arc::new(BufferPool::new(8, stats.clone()));
+        let mut fids = Vec::new();
+        for i in 0..4 {
+            let f = Arc::new(
+                DiskFile::create(dir.path().join(format!("mt{i}.db")), stats.clone()).unwrap(),
+            );
+            fids.push(pool.register(f));
+        }
+        std::thread::scope(|s| {
+            for (t, &fid) in fids.iter().enumerate() {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let mut pids = Vec::new();
+                    for i in 0..50u64 {
+                        let pid = pool.new_page(fid).unwrap();
+                        pool.with_page_mut(fid, pid, |p| p.put_u64(0, t as u64 * 1000 + i))
+                            .unwrap();
+                        pids.push(pid);
+                    }
+                    for (i, pid) in pids.iter().enumerate() {
+                        pool.with_page(fid, *pid, |p| {
+                            assert_eq!(p.get_u64(0), t as u64 * 1000 + i as u64)
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        pool.flush_all().unwrap();
+        // 4 threads × 50 pages, all values must have survived the shared pool.
+        assert_eq!(pool.total_bytes(), 4 * 50 * crate::page::PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn absorb_clean_warms_target_without_io() {
+        let dir = TempDir::new("buffer-absorb").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let main = BufferPool::new(8, stats.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let main_fid = main.register(file.clone());
+        let job = BufferPool::new(8, stats.clone());
+        let job_fid = job.register(file);
+        let mut pids = Vec::new();
+        for i in 0..5u64 {
+            let pid = job.new_page(job_fid).unwrap();
+            job.with_page_mut(job_fid, pid, |p| p.put_u64(0, i * 7)).unwrap();
+            pids.push(pid);
+        }
+        // Unflushed source is rejected; flushed source transfers cleanly.
+        assert!(main.absorb_clean(&job, job_fid, main_fid).is_err());
+        job.flush_all().unwrap();
+        let before = stats.snapshot();
+        main.absorb_clean(&job, job_fid, main_fid).unwrap();
+        for (i, pid) in pids.iter().enumerate() {
+            main.with_page(main_fid, *pid, |p| assert_eq!(p.get_u64(0), i as u64 * 7)).unwrap();
+        }
+        let d = stats.snapshot().since(&before);
+        assert_eq!(d.seq_reads + d.rand_reads, 0, "absorbed pages must be buffer hits");
+        assert_eq!(d.buffer_hits, 5);
     }
 
     #[test]

@@ -40,6 +40,38 @@ impl Drop for TempDir {
     }
 }
 
+/// Worker-thread budget for the parallel sort→pack pipeline.
+///
+/// `threads = 1` is the fully sequential legacy pipeline. Larger values let
+/// the external sorter overlap run generation with input consumption, the
+/// k-way merge prefetch run pages, and the forest build/refresh dispatch one
+/// job per Cubetree. The simulated-I/O totals are identical for every value:
+/// each worker touches its own files in the same per-file page order the
+/// sequential pipeline would, and the counters aggregate atomically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism { threads: 1 }
+    }
+}
+
+impl Parallelism {
+    /// A budget of `threads` workers (zero is treated as one).
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads: threads.max(1) }
+    }
+
+    /// True when more than one worker is allowed.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
 /// Everything a storage engine needs: where files live, the shared buffer
 /// pool, the I/O counters and the cost model that prices them.
 pub struct StorageEnv {
@@ -48,6 +80,7 @@ pub struct StorageEnv {
     pool: Arc<BufferPool>,
     cost: CostModel,
     file_seq: AtomicU64,
+    parallelism: Parallelism,
 }
 
 /// Default buffer pool size: 4096 × 8 KiB = 32 MiB, matching the paper's
@@ -64,10 +97,42 @@ impl StorageEnv {
     /// Creates an environment with an explicit pool size (in pages) and cost
     /// model.
     pub fn with_config(prefix: &str, pool_pages: usize, cost: CostModel) -> Result<Self> {
+        Self::with_config_parallel(prefix, pool_pages, cost, Parallelism::default())
+    }
+
+    /// Like [`StorageEnv::with_config`] with an explicit worker budget.
+    pub fn with_config_parallel(
+        prefix: &str,
+        pool_pages: usize,
+        cost: CostModel,
+        parallelism: Parallelism,
+    ) -> Result<Self> {
         let dir = TempDir::new(prefix)?;
         let stats = Arc::new(IoStats::new());
         let pool = Arc::new(BufferPool::new(pool_pages, stats.clone()));
-        Ok(StorageEnv { dir, stats, pool, cost, file_seq: AtomicU64::new(0) })
+        Ok(StorageEnv {
+            dir,
+            stats,
+            pool,
+            cost,
+            file_seq: AtomicU64::new(0),
+            parallelism: Parallelism::new(parallelism.threads),
+        })
+    }
+
+    /// The environment's worker budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// A fresh private buffer pool charging into this environment's counters.
+    ///
+    /// Per-tree build/refresh jobs run against private pools so their page
+    /// traffic is a pure function of the job, independent of how jobs are
+    /// interleaved across workers — which keeps the counter totals identical
+    /// for every [`Parallelism`] setting.
+    pub fn new_private_pool(&self, pages: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(pages.max(1), self.stats.clone()))
     }
 
     /// Creates a new page file in the environment directory and registers it
@@ -154,5 +219,37 @@ mod tests {
         let env = StorageEnv::new("env-raw").unwrap();
         let f = env.create_raw_file("spill").unwrap();
         assert!(f.path().starts_with(env.dir.path()));
+    }
+
+    #[test]
+    fn parallelism_defaults_and_clamps() {
+        assert_eq!(Parallelism::default().threads, 1);
+        assert!(!Parallelism::default().is_parallel());
+        assert_eq!(Parallelism::new(0).threads, 1);
+        assert!(Parallelism::new(4).is_parallel());
+        let env = StorageEnv::new("env-par").unwrap();
+        assert_eq!(env.parallelism().threads, 1);
+        let env = StorageEnv::with_config_parallel(
+            "env-par",
+            64,
+            CostModel::default(),
+            Parallelism::new(3),
+        )
+        .unwrap();
+        assert_eq!(env.parallelism().threads, 3);
+    }
+
+    #[test]
+    fn private_pools_share_counters() {
+        let env = StorageEnv::new("env-priv").unwrap();
+        let before = env.snapshot();
+        let pool = env.new_private_pool(8);
+        let file = env.create_raw_file("t").unwrap();
+        let fid = pool.register(file);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |p| p.put_u64(0, 7)).unwrap();
+        pool.flush_all().unwrap();
+        let d = env.snapshot().since(&before);
+        assert_eq!(d.seq_writes + d.rand_writes, 1, "private pool writes hit env stats");
     }
 }

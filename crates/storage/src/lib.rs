@@ -25,7 +25,7 @@ pub mod pager;
 pub mod sort;
 
 pub use buffer::BufferPool;
-pub use env::{StorageEnv, TempDir};
+pub use env::{Parallelism, StorageEnv, TempDir};
 pub use io::{IoSnapshot, IoStats};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{DiskFile, FileId};

@@ -90,7 +90,7 @@ impl DiskFile {
         f.seek(SeekFrom::Start(pid.byte_offset()))?;
         // The file may be sparse past the last physical write; treat short
         // reads of allocated-but-unwritten pages as zeroes.
-        let n = read_up_to(&mut *f, page.bytes_mut())?;
+        let n = read_up_to(&mut f, page.bytes_mut())?;
         page.bytes_mut()[n..].fill(0);
         Ok(())
     }

@@ -10,6 +10,15 @@
 //!
 //! A record is `width` consecutive `u64` words; records are ordered by
 //! comparing the columns listed in `key_cols`, in order.
+//!
+//! When the environment's [`crate::env::Parallelism`] budget allows more than
+//! one worker, run generation is dispatched to background threads (each
+//! sorting and spilling one budget-slice while the producer keeps pushing)
+//! and the k-way merge reads every run through a prefetching reader that
+//! overlaps run I/O with merge CPU. Run files are created on the producer
+//! thread in push order and each run is written/read strictly sequentially by
+//! exactly one thread, so the sorted output *and* the per-file
+//! sequential/random I/O accounting are identical for every worker count.
 
 use crate::env::StorageEnv;
 use crate::page::{Page, PageId, PAGE_SIZE};
@@ -17,7 +26,9 @@ use crate::pager::DiskFile;
 use ct_common::{CtError, Result};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Compares two records column-by-column in `key_cols` order.
 #[inline]
@@ -44,11 +55,48 @@ pub struct ExternalSorter<'a> {
     buf: Vec<u64>,
     runs: Vec<Run>,
     pushed: u64,
+    /// Worker budget for spill threads and merge prefetch (1 = sequential).
+    threads: usize,
+    /// In-flight spill workers, oldest first.
+    workers: Vec<JoinHandle<Result<()>>>,
 }
 
 struct Run {
     file: Arc<DiskFile>,
     records: u64,
+}
+
+/// Sorts one budget-slice of records, returning the reordered copy. Shared
+/// by the inline and threaded spill paths so both produce identical runs.
+fn sort_chunk(buf: &[u64], width: usize, key_cols: &[usize]) -> Vec<u64> {
+    let n = buf.len() / width;
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        cmp_records(
+            &buf[a as usize * width..a as usize * width + width],
+            &buf[b as usize * width..b as usize * width + width],
+            key_cols,
+        )
+    });
+    let mut out = Vec::with_capacity(buf.len());
+    for i in idx {
+        let s = i as usize * width;
+        out.extend_from_slice(&buf[s..s + width]);
+    }
+    out
+}
+
+/// Writes one sorted chunk to `file` as a sequential run.
+fn write_run(sorted: &[u64], width: usize, file: Arc<DiskFile>) -> Result<()> {
+    let mut writer = RunWriter::new(file, width);
+    for rec in sorted.chunks_exact(width) {
+        writer.push(rec)?;
+    }
+    writer.finish()
+}
+
+fn join_spill(handle: JoinHandle<Result<()>>) -> Result<()> {
+    handle.join().map_err(|_| CtError::invalid("sort spill worker panicked"))?
 }
 
 impl<'a> ExternalSorter<'a> {
@@ -81,6 +129,8 @@ impl<'a> ExternalSorter<'a> {
             buf: Vec::with_capacity(budget_records.min(1 << 16) * width),
             runs: Vec::new(),
             pushed: 0,
+            threads: env.parallelism().threads,
+            workers: Vec::new(),
         }
     }
 
@@ -109,42 +159,43 @@ impl<'a> ExternalSorter<'a> {
     }
 
     /// Sorts the in-memory chunk and writes it out as a run file.
+    ///
+    /// The run file is created here, on the producer thread, so run order
+    /// (and the merge's run-index tie-break) is the push order regardless of
+    /// how many spill workers are running.
     fn spill(&mut self) -> Result<()> {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let sorted = self.take_sorted_chunk();
-        let records = (sorted.len() / self.width) as u64;
+        let records = (self.buf.len() / self.width) as u64;
+        self.env.stats().add_tuples(records);
         let file = self.env.create_raw_file("sort-run")?;
-        let mut writer = RunWriter::new(file.clone(), self.width);
-        for rec in sorted.chunks_exact(self.width) {
-            writer.push(rec)?;
+        self.runs.push(Run { file: file.clone(), records });
+        if self.threads > 1 {
+            // Bound in-flight workers by retiring the oldest first.
+            if self.workers.len() + 1 >= self.threads {
+                join_spill(self.workers.remove(0))?;
+            }
+            let cap = self.buf.capacity();
+            let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(cap));
+            let width = self.width;
+            let key_cols = self.key_cols.clone();
+            self.workers.push(std::thread::spawn(move || {
+                write_run(&sort_chunk(&chunk, width, &key_cols), width, file)
+            }));
+        } else {
+            let sorted = sort_chunk(&self.buf, self.width, &self.key_cols);
+            self.buf.clear();
+            write_run(&sorted, self.width, file)?;
         }
-        writer.finish()?;
-        self.runs.push(Run { file, records });
         Ok(())
     }
 
     /// Sorts and drains the buffered chunk, charging CPU tuple costs.
     fn take_sorted_chunk(&mut self) -> Vec<u64> {
-        let width = self.width;
-        let n = self.buf.len() / width;
+        let n = self.buf.len() / self.width;
         self.env.stats().add_tuples(n as u64);
-        let mut idx: Vec<u32> = (0..n as u32).collect();
-        let buf = &self.buf;
-        let key_cols = &self.key_cols;
-        idx.sort_unstable_by(|&a, &b| {
-            cmp_records(
-                &buf[a as usize * width..a as usize * width + width],
-                &buf[b as usize * width..b as usize * width + width],
-                key_cols,
-            )
-        });
-        let mut out = Vec::with_capacity(self.buf.len());
-        for i in idx {
-            let s = i as usize * width;
-            out.extend_from_slice(&self.buf[s..s + width]);
-        }
+        let out = sort_chunk(&self.buf, self.width, &self.key_cols);
         self.buf.clear();
         out
     }
@@ -156,13 +207,26 @@ impl<'a> ExternalSorter<'a> {
             return Ok(SortedStream::InMemory { data: chunk, width: self.width, pos: 0 });
         }
         self.spill()?;
+        // All runs must be on disk before the merge starts reading them.
+        for handle in self.workers.drain(..) {
+            join_spill(handle)?;
+        }
+        let overlap = self.threads > 1;
         let mut readers = Vec::with_capacity(self.runs.len());
         for run in &self.runs {
-            readers.push(RunReader::new(run.file.clone(), self.width, run.records)?);
+            readers.push(if overlap {
+                RunCursor::Prefetch(PrefetchRunReader::new(
+                    run.file.clone(),
+                    self.width,
+                    run.records,
+                )?)
+            } else {
+                RunCursor::Direct(RunReader::new(run.file.clone(), self.width, run.records)?)
+            });
         }
         let mut heap = BinaryHeap::with_capacity(readers.len());
         for (i, r) in readers.iter_mut().enumerate() {
-            if let Some(rec) = r.next()? {
+            if let Some(rec) = r.next_record()? {
                 heap.push(HeapEntry::new(rec, i, &self.key_cols));
             }
         }
@@ -191,7 +255,7 @@ pub enum SortedStream {
     /// K-way merge over spilled runs.
     Merge {
         /// One reader per run.
-        readers: Vec<RunReader>,
+        readers: Vec<RunCursor>,
         /// Min-heap of run heads.
         heap: BinaryHeap<HeapEntry>,
         /// Sort key.
@@ -216,7 +280,7 @@ impl SortedStream {
             SortedStream::Merge { readers, heap, key_cols, stats } => {
                 let Some(top) = heap.pop() else { return Ok(None) };
                 stats.add_tuples(1);
-                if let Some(next) = readers[top.run].next()? {
+                if let Some(next) = readers[top.run].next_record()? {
                     heap.push(HeapEntry::new(next, top.run, key_cols));
                 }
                 Ok(Some(top.record))
@@ -311,6 +375,97 @@ impl RunWriter {
     }
 }
 
+/// One run's record source inside a merge: either read on demand or via a
+/// background prefetcher. Both pull the run's pages in identical sequential
+/// order, so the I/O accounting does not depend on the variant.
+pub enum RunCursor {
+    /// Pages are read in the merge thread when needed.
+    Direct(RunReader),
+    /// Pages are read ahead by a background thread (worker budget > 1).
+    Prefetch(PrefetchRunReader),
+}
+
+impl RunCursor {
+    /// The next record, or `None` at end of run.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u64>>> {
+        match self {
+            RunCursor::Direct(r) => r.next_record(),
+            RunCursor::Prefetch(r) => r.next_record(),
+        }
+    }
+}
+
+/// How many pages a [`PrefetchRunReader`] may read ahead of the consumer.
+const PREFETCH_DEPTH: usize = 4;
+
+/// A run reader whose page reads are issued by a dedicated background
+/// thread through a bounded channel, overlapping run I/O with merge CPU.
+///
+/// The thread reads the run's pages in the same strictly sequential order
+/// [`RunReader`] would, so per-file access classification is unchanged. If
+/// the reader is dropped before the run is drained the thread stops at the
+/// next send (at most [`PREFETCH_DEPTH`] pages past the consumed prefix).
+pub struct PrefetchRunReader {
+    rx: Receiver<Result<Page>>,
+    page: Page,
+    width: usize,
+    per_page: usize,
+    in_page: usize,
+    remaining: u64,
+    loaded: bool,
+}
+
+impl PrefetchRunReader {
+    /// Starts prefetching `records` records of `width` words from `file`.
+    pub fn new(file: Arc<DiskFile>, width: usize, records: u64) -> Result<Self> {
+        let per_page = PAGE_SIZE / 8 / width;
+        if per_page == 0 {
+            return Err(CtError::invalid("record wider than a page"));
+        }
+        let pages = records.div_ceil(per_page as u64);
+        let (tx, rx) = sync_channel::<Result<Page>>(PREFETCH_DEPTH);
+        std::thread::spawn(move || {
+            for pid in 0..pages {
+                let mut page = Page::zeroed();
+                let res = file.read_page(PageId(pid), &mut page).map(|_| page);
+                let stop = res.is_err();
+                if tx.send(res).is_err() || stop {
+                    break;
+                }
+            }
+        });
+        Ok(PrefetchRunReader {
+            rx,
+            page: Page::zeroed(),
+            width,
+            per_page,
+            in_page: 0,
+            remaining: records,
+            loaded: false,
+        })
+    }
+
+    /// The next record, or `None` at end of run.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u64>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        if !self.loaded || self.in_page == self.per_page {
+            self.page = self
+                .rx
+                .recv()
+                .map_err(|_| CtError::invalid("run prefetch thread exited early"))??;
+            self.in_page = 0;
+            self.loaded = true;
+        }
+        let mut rec = vec![0u64; self.width];
+        self.page.get_u64s(self.in_page * self.width * 8, &mut rec);
+        self.in_page += 1;
+        self.remaining -= 1;
+        Ok(Some(rec))
+    }
+}
+
 /// Sequential reader over a run file written by [`RunWriter`].
 pub struct RunReader {
     file: Arc<DiskFile>,
@@ -343,7 +498,7 @@ impl RunReader {
     }
 
     /// The next record, or `None` at end of run.
-    pub fn next(&mut self) -> Result<Option<Vec<u64>>> {
+    pub fn next_record(&mut self) -> Result<Option<Vec<u64>>> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -461,12 +616,81 @@ mod tests {
         w.finish().unwrap();
         let mut r = RunReader::new(file, width, n).unwrap();
         let mut count = 0u64;
-        while let Some(rec) = r.next().unwrap() {
+        while let Some(rec) = r.next_record().unwrap() {
             assert_eq!(rec[0], count * 10);
             assert_eq!(rec[4], count * 10 + 4);
             count += 1;
         }
         assert_eq!(count, n);
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_bytes_and_stats() {
+        use crate::env::Parallelism;
+        use ct_common::CostModel;
+        let run = |threads: usize| {
+            let env = StorageEnv::with_config_parallel(
+                "sort-par",
+                64,
+                CostModel::default(),
+                Parallelism::new(threads),
+            )
+            .unwrap();
+            let before = env.snapshot();
+            let mut s = ExternalSorter::with_budget(&env, 3, vec![2, 0], 3 * 700);
+            let mut x = 88172645463325252u64;
+            for _ in 0..9000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.push(&[x % 97, x % 11, x % 53]).unwrap();
+            }
+            let out = s.finish().unwrap().collect_all().unwrap();
+            (out, env.snapshot().since(&before))
+        };
+        let (seq_out, seq_stats) = run(1);
+        let (par_out, par_stats) = run(4);
+        assert_eq!(seq_out, par_out, "record order must not depend on worker count");
+        assert_eq!(seq_stats, par_stats, "I/O totals must not depend on worker count");
+    }
+
+    #[test]
+    fn prefetch_reader_matches_direct_reader() {
+        let env = env();
+        let file = env.create_raw_file("pf").unwrap();
+        let width = 3;
+        let n = 2000u64;
+        let mut w = RunWriter::new(file.clone(), width);
+        for i in 0..n {
+            w.push(&[i, i * 2, i * 3]).unwrap();
+        }
+        w.finish().unwrap();
+        let mut direct = RunReader::new(file.clone(), width, n).unwrap();
+        let mut prefetch = PrefetchRunReader::new(file, width, n).unwrap();
+        loop {
+            let a = direct.next_record().unwrap();
+            let b = prefetch.next_record().unwrap();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_prefetch_reader_mid_run_is_clean() {
+        let env = env();
+        let file = env.create_raw_file("pf-drop").unwrap();
+        let width = 2;
+        let n = 5000u64;
+        let mut w = RunWriter::new(file.clone(), width);
+        for i in 0..n {
+            w.push(&[i, i]).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = PrefetchRunReader::new(file, width, n).unwrap();
+        assert!(r.next_record().unwrap().is_some());
+        drop(r); // the background thread must unblock and exit
     }
 
     #[test]

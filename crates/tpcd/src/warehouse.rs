@@ -184,7 +184,7 @@ impl TpcdWarehouse {
     /// independent seed (the paper's §3.4 uses a 10% increment).
     pub fn generate_increment(&self, fraction: f64) -> Relation {
         let rows = ((self.base_rows() as f64) * fraction).round() as u64;
-        self.generate_rows(rows, self.config.seed ^ 0xDE1_7A)
+        self.generate_rows(rows, self.config.seed ^ 0xDE17A)
     }
 
     fn generate_rows(&self, rows: u64, seed: u64) -> Relation {

@@ -51,7 +51,7 @@ fn figure_8_cubetree_content() {
     }
     let mut v9: Vec<(Point, i64)> =
         V9_DATA.iter().map(|&(x, y, q)| (Point::new(&[x, y], 2), q)).collect();
-    v9.sort_by(|a, b| a.0.cmp(&b.0));
+    v9.sort_by_key(|e| e.0);
     for (p, q) in v9 {
         b.push(9, p, &AggState::from_measure(q)).unwrap();
     }
@@ -105,7 +105,7 @@ fn figure_4_slice_queries() {
     }
     let mut v9: Vec<(Point, i64)> =
         V9_DATA.iter().map(|&(x, y, q)| (Point::new(&[x, y], 2), q)).collect();
-    v9.sort_by(|a, b| a.0.cmp(&b.0));
+    v9.sort_by_key(|e| e.0);
     for (p, q) in v9 {
         b.push(9, p, &AggState::from_measure(q)).unwrap();
     }

@@ -39,7 +39,7 @@ fn build_tree(
     .unwrap();
     let mut sorted: Vec<(Point, i64)> =
         pts.iter().map(|&((x, y), q)| (Point::new(&[x, y], 2), q)).collect();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    sorted.sort_by_key(|e| e.0);
     for (p, q) in sorted {
         b.push(1, p, &AggState::from_measure(q)).unwrap();
     }
@@ -104,7 +104,7 @@ proptest! {
         let old = build_tree(&env, "old", &base, LeafFormat::ZeroElided);
         let mut delta_sorted: Vec<(Point, i64)> =
             delta.iter().map(|&((x, y), q)| (Point::new(&[x, y], 2), q)).collect();
-        delta_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        delta_sorted.sort_by_key(|e| e.0);
         let items: Vec<(u32, Point, AggState)> = delta_sorted
             .iter()
             .map(|&(p, q)| (1u32, p, AggState::from_measure(q)))

@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — groups, throughput
+//! annotation, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_with_setup` — measuring plain wall-clock means over a configurable
+//! sample count. No statistics, plots or baselines: just enough to run
+//! `cargo bench` offline and print comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level bench context (one per `criterion_group!` function).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup { _parent: self, sample_size: 10, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), 10, None, f);
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), self.sample_size, self.throughput, f);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&id.label, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// A benchmark name composed of a function label and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` naming.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only naming.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; routes the timed section.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` over a fresh `setup()` product, excluding setup time.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn run_one(name: &str, samples: usize, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    // Warm-up pass, untimed for reporting purposes.
+    f(&mut b);
+    let mut b = Bencher::default();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.iters == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("  {name}: {:.3} ms/iter over {} iters{rate}", per_iter * 1e3, b.iters);
+}
+
+/// Declares a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_with_setup(|| vec![0u8; n as usize], |v| v.len())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}
