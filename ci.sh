@@ -7,3 +7,5 @@ cd "$(dirname "$0")"
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+cargo run -q --release --offline --example quickstart > /dev/null

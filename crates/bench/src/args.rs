@@ -13,6 +13,10 @@ pub struct BenchArgs {
     pub pool_frac: f64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional metrics JSON output path. When set, the engines run with an
+    /// enabled [`ct_obs::Recorder`]; counters, histograms and the phase tree
+    /// are written here and a summary is printed to stderr.
+    pub metrics: Option<String>,
     /// Worker threads for the Cubetree sort→pack pipeline (1 = sequential).
     pub threads: usize,
 }
@@ -25,6 +29,7 @@ impl Default for BenchArgs {
             queries: 100,
             pool_frac: 32.0 / 602.0,
             json: None,
+            metrics: None,
             threads: 1,
         }
     }
@@ -58,6 +63,7 @@ impl BenchArgs {
                         value("--pool-frac").parse().expect("--pool-frac takes a float")
                 }
                 "--json" => out.json = Some(value("--json")),
+                "--metrics" => out.metrics = Some(value("--metrics")),
                 "--threads" => {
                     out.threads = value("--threads")
                         .parse::<usize>()
@@ -67,7 +73,7 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--queries N] [--pool-frac F] \
-                         [--json PATH] [--threads N]"
+                         [--json PATH] [--metrics PATH] [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -84,6 +90,16 @@ impl BenchArgs {
     pub fn pool_pages(&self, data_bytes: u64) -> usize {
         let bytes = (data_bytes as f64 * self.pool_frac) as usize;
         (bytes / ct_storage::PAGE_SIZE).max(128)
+    }
+
+    /// A recorder matching the `--metrics` flag: enabled when a path was
+    /// given, disabled (zero-cost probes) otherwise.
+    pub fn recorder(&self) -> ct_obs::Recorder {
+        if self.metrics.is_some() {
+            ct_obs::Recorder::enabled()
+        } else {
+            ct_obs::Recorder::disabled()
+        }
     }
 }
 
@@ -105,7 +121,18 @@ mod tests {
         assert_eq!(a.queries, 50);
         assert_eq!(a.pool_frac, 0.1);
         assert!(a.json.is_none());
+        assert!(a.metrics.is_none());
+        assert!(!a.recorder().is_enabled());
         assert_eq!(a.threads, 1);
+    }
+
+    #[test]
+    fn metrics_flag_enables_recorder() {
+        let a = BenchArgs::parse_from(
+            ["--metrics", "m.json"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        assert!(a.recorder().is_enabled());
     }
 
     #[test]

@@ -19,8 +19,10 @@ fn engine_with(
     w: &TpcdWarehouse,
     mut config: CubetreeConfig,
     pool_pages: usize,
+    recorder: ct_obs::Recorder,
 ) -> CubetreeEngine {
     config.pool_pages = pool_pages;
+    config.recorder = recorder;
     let mut e = CubetreeEngine::new(w.catalog().clone(), config).expect("engine");
     e.load(&w.generate_fact()).expect("load");
     e
@@ -39,16 +41,18 @@ fn main() {
     report.meta("fact rows", fact_rows);
 
     // --- 1. compression ---
-    let compressed = engine_with(&w, setup.cubetree.clone(), pool); // zero-elided (paper)
+    let compressed = engine_with(&w, setup.cubetree.clone(), pool, args.recorder()); // zero-elided (paper)
     let varint = engine_with(
         &w,
         CubetreeConfig { format: LeafFormat::Compressed, ..setup.cubetree.clone() },
         pool,
+        args.recorder(),
     );
     let raw = engine_with(
         &w,
         CubetreeConfig { format: LeafFormat::Raw, ..setup.cubetree.clone() },
         pool,
+        args.recorder(),
     );
     let mut g = QueryGenerator::new(w.catalog(), base.clone(), args.seed);
     let queries = g.batch(args.queries * 2);
@@ -64,22 +68,22 @@ fn main() {
     s.row(vec![
         "raw (padding stored)".into(),
         fmt_mb(raw.storage_bytes()),
-        fmt_secs(qr.total_sim),
+        fmt_secs(qr.total_sim()),
     ]);
     s.row(vec![
         "zero-elided (paper §2.4)".into(),
         fmt_mb(compressed.storage_bytes()),
-        fmt_secs(qc.total_sim),
+        fmt_secs(qc.total_sim()),
     ]);
     s.row(vec![
         "varint deltas (extension)".into(),
         fmt_mb(varint.storage_bytes()),
-        fmt_secs(qv.total_sim),
+        fmt_secs(qv.total_sim()),
     ]);
     s.row(vec![
         "raw/zero-elided".into(),
         fmt_ratio(raw.storage_bytes() as f64, compressed.storage_bytes() as f64),
-        fmt_ratio(qr.total_sim, qc.total_sim),
+        fmt_ratio(qr.total_sim(), qc.total_sim()),
     ]);
 
     // --- 2. replicas ---
@@ -87,6 +91,7 @@ fn main() {
         &w,
         CubetreeConfig { replicas: Vec::new(), ..setup.cubetree.clone() },
         pool,
+        args.recorder(),
     );
     // Queries that slice on partkey/suppkey over unmaterialized nodes force
     // the top view; without replicas the only sort order is (c,s,p).
@@ -102,17 +107,17 @@ fn main() {
     s.row(vec![
         "primary + 2 replicas".into(),
         fmt_mb(compressed.storage_bytes()),
-        fmt_secs(with_r.total_sim),
+        fmt_secs(with_r.total_sim()),
     ]);
     s.row(vec![
         "primary only".into(),
         fmt_mb(no_replicas.storage_bytes()),
-        fmt_secs(without_r.total_sim),
+        fmt_secs(without_r.total_sim()),
     ]);
     s.row(vec![
         "no-replica slowdown".into(),
         String::new(),
-        fmt_ratio(without_r.total_sim, with_r.total_sim),
+        fmt_ratio(without_r.total_sim(), with_r.total_sim()),
     ]);
 
     // --- 3. mapping policy ---
@@ -221,4 +226,13 @@ fn main() {
     }
 
     report.emit(args.json.as_deref());
+    ct_bench::metrics::emit_metrics_if_requested(
+        args.metrics.as_deref(),
+        &[
+            ("zero_elided", compressed.env()),
+            ("varint", varint.env()),
+            ("raw", raw.env()),
+            ("no_replicas", no_replicas.env()),
+        ],
+    );
 }

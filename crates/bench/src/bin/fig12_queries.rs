@@ -8,6 +8,7 @@
 use ct_bench::experiments::build_engines_or_die;
 use ct_bench::report::{fmt_ratio, fmt_secs, Report};
 use ct_bench::BenchArgs;
+use cubetree::engine::RolapEngine;
 use ct_workload::{run_batch, QueryGenerator};
 
 fn main() {
@@ -40,11 +41,18 @@ fn main() {
         let cube = run_batch(&engines.cubetree, &queries).expect("cubetree batch");
         s.row(vec![
             names(mask),
-            fmt_secs(conv.total_sim),
-            fmt_secs(cube.total_sim),
-            fmt_ratio(conv.total_sim, cube.total_sim),
+            fmt_secs(conv.total_sim()),
+            fmt_secs(cube.total_sim()),
+            fmt_ratio(conv.total_sim(), cube.total_sim()),
             (conv.checksum == cube.checksum).to_string(),
         ]);
     }
     report.emit(args.json.as_deref());
+    ct_bench::metrics::emit_metrics_if_requested(
+        args.metrics.as_deref(),
+        &[
+            ("conventional", engines.conventional.env()),
+            ("cubetrees", engines.cubetree.env()),
+        ],
+    );
 }

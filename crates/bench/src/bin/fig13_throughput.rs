@@ -8,6 +8,7 @@
 use ct_bench::experiments::build_engines_or_die;
 use ct_bench::report::{fmt_ratio, Report};
 use ct_bench::BenchArgs;
+use cubetree::engine::RolapEngine;
 use ct_workload::{run_batch, QueryGenerator};
 
 fn main() {
@@ -59,4 +60,11 @@ fn main() {
         fmt_ratio(cube_min, conv_max),
     ]);
     report.emit(args.json.as_deref());
+    ct_bench::metrics::emit_metrics_if_requested(
+        args.metrics.as_deref(),
+        &[
+            ("conventional", engines.conventional.env()),
+            ("cubetrees", engines.cubetree.env()),
+        ],
+    );
 }

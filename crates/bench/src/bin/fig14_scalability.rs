@@ -15,6 +15,7 @@ fn load_cubetrees(args: &BenchArgs, sf: f64) -> (TpcdWarehouse, CubetreeEngine) 
     let fact = w.generate_fact();
     let mut setup = paper_configs(&w);
     setup.cubetree.pool_pages = args.pool_pages(estimate_data_bytes(fact.len() as u64));
+    setup.cubetree.recorder = args.recorder();
     let mut engine = CubetreeEngine::new(w.catalog().clone(), setup.cubetree)
         .expect("engine creation");
     engine.load(&fact).expect("load");
@@ -54,10 +55,14 @@ fn main() {
         let s2 = run_batch(&large, &q2).expect("large batch");
         s.row(vec![
             names(mask),
-            fmt_secs(s1.total_sim),
-            fmt_secs(s2.total_sim),
-            fmt_ratio(s2.total_sim, s1.total_sim),
+            fmt_secs(s1.total_sim()),
+            fmt_secs(s2.total_sim()),
+            fmt_ratio(s2.total_sim(), s1.total_sim()),
         ]);
     }
     report.emit(args.json.as_deref());
+    ct_bench::metrics::emit_metrics_if_requested(
+        args.metrics.as_deref(),
+        &[("cubetrees_1x", small.env()), ("cubetrees_2x", large.env())],
+    );
 }

@@ -94,4 +94,7 @@ fn main() {
         s.row(vec![format!("R{}", t + 1), spec.dims.to_string(), names.join(" ")]);
     }
     report.emit(args.json.as_deref());
+    // Table 5 is pure planning (no storage engine runs), so the metrics
+    // document is empty — the flag is still honoured for uniform tooling.
+    ct_bench::metrics::emit_metrics_if_requested(args.metrics.as_deref(), &[]);
 }

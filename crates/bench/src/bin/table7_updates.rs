@@ -90,4 +90,11 @@ fn main() {
         "1.0x".into(),
     ]);
     report.emit(args.json.as_deref());
+    ct_bench::metrics::emit_metrics_if_requested(
+        args.metrics.as_deref(),
+        &[
+            ("conventional", engines.conventional.env()),
+            ("cubetrees", engines.cubetree.env()),
+        ],
+    );
 }

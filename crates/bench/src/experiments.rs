@@ -48,6 +48,9 @@ pub fn build_engines(args: &BenchArgs) -> Result<Engines> {
     setup.conventional.pool_pages = pool;
     setup.cubetree.pool_pages = pool;
     setup.cubetree.threads = args.threads;
+    // Each engine gets its own registry so phase trees don't interleave.
+    setup.conventional.recorder = args.recorder();
+    setup.cubetree.recorder = args.recorder();
 
     let mut conventional =
         ConventionalEngine::new(warehouse.catalog().clone(), setup.conventional)?;

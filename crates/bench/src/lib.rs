@@ -11,6 +11,8 @@
 //!                   data size (default 0.0533 — the paper's 32 MB against
 //!                   its 602 MB conventional footprint)
 //! --json <path>     also write the report as JSON
+//! --metrics <path>  enable the ct-obs recorder and write its counters,
+//!                   histograms and phase tree as JSON (see OBSERVABILITY.md)
 //! ```
 //!
 //! Results are reported in **simulated seconds** under the 1998 disk cost
@@ -20,8 +22,10 @@
 
 pub mod args;
 pub mod experiments;
+pub mod metrics;
 pub mod report;
 
 pub use args::BenchArgs;
 pub use experiments::{build_engines, Engines};
+pub use metrics::{emit_metrics, emit_metrics_if_requested, MetricsReport};
 pub use report::Report;

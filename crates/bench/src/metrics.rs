@@ -1,0 +1,146 @@
+//! `--metrics` output: one JSON document per run plus a human-readable
+//! phase-tree summary on stderr.
+//!
+//! Every bench binary that accepts `--metrics <path>` funnels through
+//! [`emit_metrics`]: each engine's [`ct_obs::Recorder`] is snapshotted,
+//! rendered, and written under its label, together with the engine's global
+//! [`ct_storage::IoSnapshot`] and a reconciliation verdict — the sum of the
+//! root phases' I/O deltas must equal the global counters, otherwise some
+//! page traffic escaped phase attribution. See OBSERVABILITY.md for the
+//! full schema.
+
+use ct_obs::IoDelta;
+use ct_storage::StorageEnv;
+
+/// One engine's metrics: the recorder snapshot, the engine-global I/O
+/// counters, and whether the two reconcile.
+pub struct MetricsReport {
+    /// Section label (e.g. `"cubetrees"`).
+    pub label: String,
+    /// The recorder's counters/histograms/spans.
+    pub snapshot: ct_obs::MetricsSnapshot,
+    /// Engine-global I/O counters at emission time.
+    pub global_io: IoDelta,
+    /// True when the root phases' I/O deltas sum to `global_io`.
+    pub reconciled: bool,
+}
+
+impl MetricsReport {
+    /// Captures `env`'s recorder and global counters under `label`.
+    pub fn capture(label: &str, env: &StorageEnv) -> MetricsReport {
+        let snapshot = env.recorder().snapshot();
+        let global_io = env.snapshot().to_delta();
+        let roots = snapshot.root_io_total();
+        let reconciled =
+            roots.total_io() == global_io.total_io()
+                && roots.buffer_hits == global_io.buffer_hits
+                && roots.tuples == global_io.tuples;
+        MetricsReport { label: label.to_string(), snapshot, global_io, reconciled }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"global_io\": {}, \"reconciled\": {}, \"metrics\": {}}}",
+            io_json(&self.global_io),
+            self.reconciled,
+            self.snapshot.to_json()
+        )
+    }
+
+    fn print_summary(&self) {
+        eprintln!("== metrics: {} ==", self.label);
+        eprint!("{}", self.snapshot.render_tree());
+        let roots = self.snapshot.root_io_total();
+        eprintln!(
+            "phase/global I/O reconciliation: {} ({} page I/Os in root phases, {} global)",
+            if self.reconciled { "OK" } else { "MISMATCH" },
+            roots.total_io(),
+            self.global_io.total_io(),
+        );
+    }
+}
+
+fn io_json(d: &IoDelta) -> String {
+    format!(
+        "{{\"seq_reads\": {}, \"rand_reads\": {}, \"seq_writes\": {}, \"rand_writes\": {}, \
+         \"buffer_hits\": {}, \"tuples\": {}, \"total_io\": {}, \"hit_ratio\": {:.6}}}",
+        d.seq_reads,
+        d.rand_reads,
+        d.seq_writes,
+        d.rand_writes,
+        d.buffer_hits,
+        d.tuples,
+        d.total_io(),
+        d.hit_ratio(),
+    )
+}
+
+/// Captures every `(label, env)` section, prints each phase tree to stderr,
+/// and writes the combined JSON document to `path`.
+pub fn emit_metrics(path: &str, sections: &[(&str, &StorageEnv)]) -> std::io::Result<()> {
+    let reports: Vec<MetricsReport> =
+        sections.iter().map(|(label, env)| MetricsReport::capture(label, env)).collect();
+    let mut out = String::from("{");
+    for (i, r) in reports.iter().enumerate() {
+        r.print_summary();
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", r.label.replace('"', "\\\""), r.to_json()));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)?;
+    eprintln!("metrics written to {path}");
+    Ok(())
+}
+
+/// [`emit_metrics`] when `--metrics` was given; warns instead of dying on
+/// I/O errors so a full bench run is never lost to an unwritable path.
+pub fn emit_metrics_if_requested(path: Option<&str>, sections: &[(&str, &StorageEnv)]) {
+    if let Some(path) = path {
+        if let Err(e) = emit_metrics(path, sections) {
+            eprintln!("failed to write metrics to {path}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::build_engines;
+    use crate::BenchArgs;
+    use cubetree::engine::RolapEngine;
+
+    #[test]
+    fn load_phases_reconcile_with_global_io() {
+        let args = BenchArgs {
+            sf: 0.001,
+            metrics: Some("unused.json".into()),
+            ..Default::default()
+        };
+        let engines = build_engines(&args).unwrap();
+        for (label, env) in [
+            ("conventional", engines.conventional.env()),
+            ("cubetrees", engines.cubetree.env()),
+        ] {
+            let r = MetricsReport::capture(label, env);
+            assert!(r.global_io.total_io() > 0, "{label}: load did no I/O?");
+            assert!(r.reconciled, "{label}: root phases must account for all I/O");
+            assert!(r.snapshot.spans.contains_key("load"), "{label} has a load phase");
+            let json = r.to_json();
+            assert!(json.contains("\"reconciled\": true"));
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_produces_empty_snapshot() {
+        let args = BenchArgs { sf: 0.001, ..Default::default() };
+        let engines = build_engines(&args).unwrap();
+        let r = MetricsReport::capture("cubetrees", engines.cubetree.env());
+        assert!(r.snapshot.spans.is_empty());
+        assert!(r.snapshot.counters.is_empty());
+        // Nothing attributed, so reconciliation trivially fails against a
+        // non-zero global count — callers only emit when --metrics is set.
+        assert!(!r.reconciled);
+    }
+}

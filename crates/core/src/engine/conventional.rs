@@ -43,6 +43,8 @@ pub struct ConventionalConfig {
     pub pool_pages: usize,
     /// I/O cost model for simulated time.
     pub cost: CostModel,
+    /// Metrics recorder; disabled by default (zero-cost probes).
+    pub recorder: ct_obs::Recorder,
 }
 
 impl ConventionalConfig {
@@ -53,12 +55,19 @@ impl ConventionalConfig {
             indexes: Vec::new(),
             pool_pages: DEFAULT_POOL_PAGES,
             cost: CostModel::default(),
+            recorder: ct_obs::Recorder::disabled(),
         }
     }
 
     /// Adds a secondary index.
     pub fn with_index(mut self, view: ViewId, order: Vec<AttrId>) -> Self {
         self.indexes.push((view, order));
+        self
+    }
+
+    /// Attaches a metrics recorder (see [`ct_obs::Recorder::enabled`]).
+    pub fn with_recorder(mut self, recorder: ct_obs::Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -112,7 +121,13 @@ impl ConventionalEngine {
                 ));
             }
         }
-        let env = StorageEnv::with_config("conventional", config.pool_pages, config.cost)?;
+        let env = StorageEnv::with_config_full(
+            "conventional",
+            config.pool_pages,
+            config.cost,
+            ct_storage::Parallelism::default(),
+            config.recorder.clone(),
+        )?;
         Ok(ConventionalEngine {
             env,
             catalog,
@@ -345,6 +360,11 @@ impl ConventionalEngine {
             }
         }
         self.env.stats().add_tuples(processed);
+        let recorder = self.env.recorder();
+        if recorder.is_enabled() {
+            recorder.observe("core.query.touched_entries", processed);
+            recorder.add(&format!("core.query.by_view.v{}", mv.def.id.0), 1);
+        }
         Ok(agg.finish(mv.def.agg))
     }
 }
@@ -393,6 +413,7 @@ impl RolapEngine for ConventionalEngine {
             return Err(CtError::invalid("engine already loaded; use update or recompute"));
         }
         self.breakdown = LoadBreakdown::default();
+        let phase = self.env.phase("load");
         let t0 = std::time::Instant::now();
         let io0 = self.env.snapshot();
         let estimator = SizeEstimator::new(&self.catalog, fact.len() as u64);
@@ -401,32 +422,39 @@ impl RolapEngine for ConventionalEngine {
         let plan =
             plan_computation(&self.catalog, &fact.attrs, fact.len() as u64, &defs, &sizes)?;
         let mut relations: Vec<Option<Relation>> = (0..defs.len()).map(|_| None).collect();
-        for step in &plan.steps {
-            let def = &defs[step.target];
-            let sort: Vec<usize> = (0..def.arity()).collect(); // projection order
-            let rel = match step.source {
-                PlanSource::Fact => {
-                    compute_view(&self.env, &self.catalog, fact, &def.projection, &sort)?
-                }
-                PlanSource::View(j) => {
-                    let src = relations[j].as_ref().expect("plan order violated");
-                    compute_view(&self.env, &self.catalog, src, &def.projection, &sort)?
-                }
-            };
-            relations[step.target] = Some(rel);
+        {
+            let _compute = phase.child("compute_views");
+            for step in &plan.steps {
+                let def = &defs[step.target];
+                let sort: Vec<usize> = (0..def.arity()).collect(); // projection order
+                let rel = match step.source {
+                    PlanSource::Fact => {
+                        compute_view(&self.env, &self.catalog, fact, &def.projection, &sort)?
+                    }
+                    PlanSource::View(j) => {
+                        let src = relations[j].as_ref().expect("plan order violated");
+                        compute_view(&self.env, &self.catalog, src, &def.projection, &sort)?
+                    }
+                };
+                relations[step.target] = Some(rel);
+            }
         }
         // View computation belongs to the "Views" column of Table 6.
         self.breakdown.views_wall += t0.elapsed().as_secs_f64();
         self.breakdown.views_sim +=
             self.env.snapshot().since(&io0).simulated_seconds(self.env.cost_model());
-        for (i, def) in defs.iter().enumerate() {
-            let rel = relations[i].take().expect("all views computed");
-            self.materialize(def, &rel)?;
+        {
+            let _materialize = phase.child("materialize");
+            for (i, def) in defs.iter().enumerate() {
+                let rel = relations[i].take().expect("all views computed");
+                self.materialize(def, &rel)?;
+            }
         }
         self.env.pool().flush_all()
     }
 
     fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>> {
+        let _phase = self.env.phase("query");
         let (view, path, _cost) = self.plan(q)?;
         self.execute(q, view, path)
     }
@@ -446,6 +474,7 @@ impl RolapEngine for ConventionalEngine {
                 )));
             }
         }
+        let _phase = self.env.phase("update");
         let catalog = self.catalog.clone();
         for mv in &mut self.views {
             let sort: Vec<usize> = (0..mv.def.arity()).collect();

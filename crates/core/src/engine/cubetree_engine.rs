@@ -29,6 +29,9 @@ pub struct CubetreeConfig {
     /// Worker threads for the sort→pack build and refresh pipelines.
     /// `1` (the default) reproduces the sequential pipeline bit for bit.
     pub threads: usize,
+    /// Metrics recorder; disabled by default, which keeps instrumentation
+    /// zero-cost (every probe is a branch on `None`).
+    pub recorder: ct_obs::Recorder,
 }
 
 impl CubetreeConfig {
@@ -41,6 +44,7 @@ impl CubetreeConfig {
             pool_pages: DEFAULT_POOL_PAGES,
             cost: CostModel::default(),
             threads: 1,
+            recorder: ct_obs::Recorder::disabled(),
         }
     }
 
@@ -53,6 +57,12 @@ impl CubetreeConfig {
     /// Sets the build/refresh worker-thread budget (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a metrics recorder (see [`ct_obs::Recorder::enabled`]).
+    pub fn with_recorder(mut self, recorder: ct_obs::Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -69,11 +79,12 @@ pub struct CubetreeEngine {
 impl CubetreeEngine {
     /// Creates an engine (storage environment included) for `catalog`.
     pub fn new(catalog: Catalog, config: CubetreeConfig) -> Result<Self> {
-        let env = StorageEnv::with_config_parallel(
+        let env = StorageEnv::with_config_full(
             "cubetree",
             config.pool_pages,
             config.cost,
             Parallelism::new(config.threads),
+            config.recorder.clone(),
         )?;
         Ok(CubetreeEngine { env, catalog, config, forest: None })
     }
@@ -94,6 +105,7 @@ impl RolapEngine for CubetreeEngine {
     }
 
     fn load(&mut self, fact: &Relation) -> Result<()> {
+        let _phase = self.env.phase("load");
         let forest = CubetreeForest::build(
             &self.env,
             &self.catalog,
@@ -114,6 +126,7 @@ impl RolapEngine for CubetreeEngine {
     fn update(&mut self, delta: &Relation) -> Result<()> {
         let forest =
             self.forest.as_mut().ok_or_else(|| CtError::invalid("engine not loaded yet"))?;
+        let _phase = self.env.phase("update");
         forest.update(&self.env, &self.catalog, delta)?;
         self.env.pool().flush_all()
     }

@@ -141,6 +141,7 @@ impl CubetreeForest {
         let plan = select_mapping(&all_defs);
 
         // Compute the primary view relations from smallest parents.
+        let compute_phase = env.phase("load/compute_views");
         let estimator = SizeEstimator::new(catalog, fact.len() as u64);
         let sizes: Vec<u64> =
             views.iter().map(|v| estimator.estimate(&v.projection)).collect();
@@ -175,11 +176,13 @@ impl CubetreeForest {
             )?;
             relations[i] = Some(rel);
         }
+        drop(compute_phase);
 
         // Pack each tree: one independent job per Cubetree, dispatched over
         // the environment's thread budget. Files are created and metadata
         // assembled on this thread, in tree order, so shared state is touched
         // deterministically; each job packs through its own private pool.
+        let pack_phase = env.phase("load/pack");
         let tree_count = plan.trees.len();
         let pool_share = job_pool_pages(env, tree_count);
         let mut fids = Vec::with_capacity(tree_count);
@@ -214,7 +217,11 @@ impl CubetreeForest {
             let job_pool = env.new_private_pool(pool_share);
             let job_fid = job_pool.register(env.pool().file(fid));
             job_pools.push((job_pool.clone(), job_fid));
+            let recorder = env.recorder().clone();
             jobs.push(Box::new(move || {
+                // Wall-only span: page I/O of concurrent jobs cannot be told
+                // apart on the shared counters, so per-tree spans time only.
+                let _span = recorder.span(&format!("load/pack/tree{t}"));
                 let mut builder =
                     TreeBuilder::new(job_pool.clone(), job_fid, spec.dims, infos, format)?;
                 for (slot, id) in spec.views.iter().enumerate() {
@@ -237,6 +244,7 @@ impl CubetreeForest {
             env.pool().absorb_clean(job_pool, *job_fid, fid)?;
             trees.push(PackedRTree::open(env.pool().clone(), fid)?);
         }
+        drop(pack_phase);
         Ok(CubetreeForest { format, plan, trees, fids, placements, generation: 0 })
     }
 
@@ -295,6 +303,7 @@ impl CubetreeForest {
             }
         }
         self.generation += 1;
+        let merge_phase = env.phase("update/merge");
         // Flush the shared pool so each job's private pool reads the current
         // on-disk bytes of the tree it is refreshing.
         env.pool().flush_all()?;
@@ -329,7 +338,9 @@ impl CubetreeForest {
             let job_old_fid = job_pool.register(env.pool().file(old_fid));
             let job_new_fid = job_pool.register(env.pool().file(new_fid));
             job_pools.push((job_pool.clone(), job_new_fid));
+            let recorder = env.recorder().clone();
             jobs.push(Box::new(move || {
+                let _span = recorder.span(&format!("update/merge/tree{t}"));
                 // Build the tree's merged delta stream: views in spec order
                 // (ascending arity) are globally packed-sorted.
                 let mut items: Vec<(u32, Point, ct_common::AggState)> = Vec::new();
@@ -354,6 +365,8 @@ impl CubetreeForest {
             }));
         }
         run_jobs(env.parallelism().threads, jobs)?;
+        drop(merge_phase);
+        let _swap_phase = env.phase("update/swap");
         // Swap the freshly packed generation in, in tree order, adopting each
         // job pool's warm frames so the shared pool stays as warm as a
         // sequential merge would have left it.

@@ -205,6 +205,9 @@ pub fn execute_forest_query(
     catalog: &Catalog,
     q: &SliceQuery,
 ) -> Result<Vec<QueryRow>> {
+    // Root phase: successive queries accumulate under one "query" span whose
+    // I/O delta reconciles against the global counters.
+    let _phase = env.phase("query");
     let plan = plan_forest_query(forest, catalog, q)?;
     let placement = &forest.placements()[plan.placement];
     let tree = forest.tree(placement.tree);
@@ -242,6 +245,11 @@ pub fn execute_forest_query(
         true
     })?;
     env.stats().add_tuples(touched);
+    let recorder = env.recorder();
+    if recorder.is_enabled() {
+        recorder.observe("core.query.touched_entries", touched);
+        recorder.add(&format!("core.query.by_view.v{}", placement.def.id.0), 1);
+    }
     Ok(agg.finish(placement.def.agg))
 }
 

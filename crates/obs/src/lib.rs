@@ -1,0 +1,39 @@
+//! # ct-obs — the observability layer
+//!
+//! The paper's evaluation (Tables 5–7, Figures 12–14) is an argument about
+//! *where the I/O and time go*: sequential vs. random writes during packing
+//! and merge-packing, buffer-pool hits during querying. This crate provides
+//! the measurement substrate that lets every experiment (and every future
+//! optimization) attribute cost instead of eyeballing wall-clock:
+//!
+//! * [`Recorder`] — the handle threaded through the system. A disabled
+//!   recorder (the default) turns every call into a branch on `None`; no
+//!   allocation, no locking, no counters. An enabled recorder feeds a
+//!   process-local registry.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — lock-cheap instruments.
+//!   Handles wrap an `Arc<AtomicU64>` (or bucket array) resolved once by
+//!   name, so hot-path updates are a single relaxed atomic op.
+//! * [`SpanGuard`] — hierarchical phase spans keyed by `/`-separated paths
+//!   (`"load/pack/tree0"`). A span accumulates invocation count, wall time
+//!   and — when the caller attaches one — an [`IoDelta`] of page-I/O
+//!   counters, so phases can be reconciled against the global totals.
+//! * [`MetricsSnapshot`] — a point-in-time copy of the registry that
+//!   serializes to JSON (no serde; the build is offline) and renders a
+//!   human-readable phase tree.
+//!
+//! The crate is dependency-free on purpose: `ct-storage` (and everything
+//! above it) depends on `ct-obs`, never the other way around. Page-I/O
+//! deltas therefore travel as the neutral [`IoDelta`] struct rather than
+//! `ct_storage::IoSnapshot`; the storage crate converts.
+//!
+//! The metric and span names used across the workspace, their units, and
+//! the paper table/figure each one supports are catalogued in the
+//! repository's `OBSERVABILITY.md`.
+
+mod metrics;
+mod recorder;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramHandle, HistogramSnapshot, IoDelta, HIST_BUCKETS};
+pub use recorder::{Recorder, SpanGuard};
+pub use snapshot::{MetricsSnapshot, SpanSnapshot};

@@ -1,0 +1,348 @@
+//! The individual instruments: counters, gauges, log-scale histograms and
+//! the neutral page-I/O delta they attribute.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket `i` (1..63)
+/// holds values in `[2^(i-1), 2^i)`, bucket 63 is the overflow bucket.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter handle.
+///
+/// A handle from a disabled [`crate::Recorder`] is inert: every operation is
+/// a branch on `None`. An enabled handle is an `Arc<AtomicU64>`, so
+/// increments are single relaxed atomic adds — safe and cheap from worker
+/// threads.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// An inert counter (what a disabled recorder hands out).
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (zero for an inert handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle storing an `f64` (as its bit pattern).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// An inert gauge.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero for an inert handle).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in microseconds,
+/// run lengths, touched-entry counts, …).
+///
+/// Buckets grow exponentially, so 64 of them cover the full `u64` range with
+/// ≤2× relative error — the right trade for latency-style distributions.
+/// All state is atomic; recording is lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value lands in: 0 for 0, otherwise
+    /// `1 + floor(log2 v)` capped at the overflow bucket.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i` (the
+    /// overflow bucket's `hi` saturates at `u64::MAX`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS);
+        if i == 0 {
+            (0, 1)
+        } else if i == HIST_BUCKETS - 1 {
+            (1u64 << (i - 1), u64::MAX)
+        } else {
+            (1u64 << (i - 1), 1u64 << i)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A histogram handle (inert when the recorder is disabled).
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram::bucket_bounds`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), reported as the upper bound
+    /// of the bucket containing the q-th sample — so the estimate errs high
+    /// by at most 2×, never low.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn upper_bound(i: usize) -> u64 {
+        let (_, hi) = Histogram::bucket_bounds(i);
+        hi.saturating_sub(1).max(1)
+    }
+}
+
+/// A neutral copy of the storage layer's page-I/O counter deltas.
+///
+/// Mirrors `ct_storage::IoSnapshot` field for field; `ct-storage` converts
+/// (this crate sits below it in the dependency graph, so it cannot name the
+/// original type).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoDelta {
+    /// Sequential page reads from disk.
+    pub seq_reads: u64,
+    /// Random page reads from disk.
+    pub rand_reads: u64,
+    /// Sequential page writes to disk.
+    pub seq_writes: u64,
+    /// Random page writes to disk.
+    pub rand_writes: u64,
+    /// Reads absorbed by the buffer pool.
+    pub buffer_hits: u64,
+    /// CPU-side tuples processed.
+    pub tuples: u64,
+}
+
+impl IoDelta {
+    /// Total physical page accesses.
+    pub fn total_io(&self) -> u64 {
+        self.seq_reads + self.rand_reads + self.seq_writes + self.rand_writes
+    }
+
+    /// Buffer hit ratio over all logical reads, or 1.0 when nothing was
+    /// read (same definition as `IoSnapshot::hit_ratio`).
+    pub fn hit_ratio(&self) -> f64 {
+        let logical = self.buffer_hits + self.seq_reads + self.rand_reads;
+        if logical == 0 {
+            1.0
+        } else {
+            self.buffer_hits as f64 / logical as f64
+        }
+    }
+}
+
+impl std::ops::Add for IoDelta {
+    type Output = IoDelta;
+    fn add(self, rhs: IoDelta) -> IoDelta {
+        IoDelta {
+            seq_reads: self.seq_reads + rhs.seq_reads,
+            rand_reads: self.rand_reads + rhs.rand_reads,
+            seq_writes: self.seq_writes + rhs.seq_writes,
+            rand_writes: self.rand_writes + rhs.rand_writes,
+            buffer_hits: self.buffer_hits + rhs.buffer_hits,
+            tuples: self.tuples + rhs.tuples,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoDelta {
+    fn add_assign(&mut self, rhs: IoDelta) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Bounds and index agree: every value is inside its bucket's range.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v, "lo {lo} > {v}");
+            assert!(v < hi || hi == u64::MAX, "v {v} >= hi {hi}");
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 5, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the ones
+        assert_eq!(s.buckets[3], 1); // five ∈ [4, 8)
+        assert_eq!(s.buckets[7], 1); // hundred ∈ [64, 128)
+        assert!((s.mean() - 21.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_err_high_never_low() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 {p99} (capped at max)");
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(HistogramSnapshot { ..s.clone() }.quantile(1.0), 1000);
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = HistogramHandle::default();
+        h.record(42);
+    }
+
+    #[test]
+    fn io_delta_arithmetic() {
+        let a = IoDelta { seq_reads: 1, rand_writes: 2, tuples: 3, ..Default::default() };
+        let b = IoDelta { seq_reads: 4, buffer_hits: 5, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.seq_reads, 5);
+        assert_eq!(c.rand_writes, 2);
+        assert_eq!(c.buffer_hits, 5);
+        assert_eq!(c.total_io(), 7);
+        assert_eq!(IoDelta::default().hit_ratio(), 1.0);
+        let d = IoDelta { buffer_hits: 3, rand_reads: 1, ..Default::default() };
+        assert_eq!(d.hit_ratio(), 0.75);
+    }
+}

@@ -1,0 +1,346 @@
+//! The [`Recorder`] handle and hierarchical phase spans.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramHandle, IoDelta};
+use crate::snapshot::{MetricsSnapshot, SpanSnapshot};
+
+/// Accumulated statistics for one span path.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SpanStats {
+    pub(crate) count: u64,
+    pub(crate) wall: Duration,
+    pub(crate) io: IoDelta,
+    pub(crate) has_io: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+/// The cheap, cloneable handle threaded through the system.
+///
+/// A recorder is either *disabled* (the default — every operation is a
+/// branch on `None`, making instrumentation zero-cost in production paths
+/// and invisible to the `threads=1` bit-identical invariant) or *enabled*
+/// (backed by a shared registry).
+///
+/// Instrument handles ([`Counter`], [`Gauge`], [`HistogramHandle`]) are
+/// resolved **once** by name — a short registry lock — and then updated
+/// lock-free with relaxed atomics, so they are safe and cheap to use from
+/// worker threads in hot loops. The one-shot convenience methods
+/// ([`Recorder::add`], [`Recorder::observe`], [`Recorder::gauge_set`]) take
+/// the registry lock per call and suit cold paths.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder(Option<Arc<Inner>>);
+
+impl Recorder {
+    /// The no-op recorder. All handles it vends are inert.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// A live recorder backed by a fresh, empty registry.
+    pub fn enabled() -> Self {
+        Recorder(Some(Arc::new(Inner::default())))
+    }
+
+    /// Whether this recorder actually records. Use to skip *computing*
+    /// expensive metric inputs; plain `add`/`record` calls don't need the
+    /// check.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Resolves (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            None => Counter(None),
+            Some(inner) => {
+                let mut map = inner.counters.lock().unwrap();
+                Counter(Some(Arc::clone(
+                    map.entry(name.to_string()).or_default(),
+                )))
+            }
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.0 {
+            None => Gauge(None),
+            Some(inner) => {
+                let mut map = inner.gauges.lock().unwrap();
+                Gauge(Some(Arc::clone(map.entry(name.to_string()).or_default())))
+            }
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        match &self.0 {
+            None => HistogramHandle(None),
+            Some(inner) => {
+                let mut map = inner.histograms.lock().unwrap();
+                HistogramHandle(Some(Arc::clone(
+                    map.entry(name.to_string()).or_default(),
+                )))
+            }
+        }
+    }
+
+    /// One-shot `counter(name).add(v)`.
+    pub fn add(&self, name: &str, v: u64) {
+        if self.0.is_some() {
+            self.counter(name).add(v);
+        }
+    }
+
+    /// One-shot `histogram(name).record(v)`.
+    pub fn observe(&self, name: &str, v: u64) {
+        if self.0.is_some() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// One-shot `gauge(name).set(v)`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if self.0.is_some() {
+            self.gauge(name).set(v);
+        }
+    }
+
+    /// Opens a phase span at `path` (`/`-separated, e.g. `"load/pack"`).
+    ///
+    /// The span measures wall time from now until the guard drops; the
+    /// caller may attach page-I/O deltas with [`SpanGuard::add_io`].
+    /// Re-opening the same path accumulates (count, wall, I/O) rather than
+    /// overwriting, so per-item spans like `"update/tree3"` aggregate
+    /// across batches.
+    pub fn span(&self, path: &str) -> SpanGuard {
+        SpanGuard(self.0.as_ref().map(|inner| ActiveSpan {
+            inner: Arc::clone(inner),
+            path: path.to_string(),
+            start: Instant::now(),
+            io: IoDelta::default(),
+            has_io: false,
+        }))
+    }
+
+    /// A point-in-time copy of every instrument and span.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.0 else {
+            return MetricsSnapshot::default();
+        };
+        use std::sync::atomic::Ordering;
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let spans = inner
+            .spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    SpanSnapshot {
+                        count: s.count,
+                        wall_secs: s.wall.as_secs_f64(),
+                        io: s.io,
+                        has_io: s.has_io,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    path: String,
+    start: Instant,
+    io: IoDelta,
+    has_io: bool,
+}
+
+/// An open phase span; closing (dropping) it folds the measured wall time
+/// and any attached I/O into the recorder under the span's path.
+///
+/// Guards are plain values — move one into a worker closure to time work on
+/// another thread. Hierarchy is by path: [`SpanGuard::child`] returns a new
+/// guard at `parent_path/name`, and the snapshot layer rebuilds the tree
+/// from the paths, so no thread-local ambient state is involved.
+#[derive(Debug)]
+#[must_use = "a span measures until dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// An inert guard (what a disabled recorder vends).
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// Opens a child span at `self.path + "/" + name`, starting now.
+    pub fn child(&self, name: &str) -> SpanGuard {
+        SpanGuard(self.0.as_ref().map(|a| ActiveSpan {
+            inner: Arc::clone(&a.inner),
+            path: format!("{}/{}", a.path, name),
+            start: Instant::now(),
+            io: IoDelta::default(),
+            has_io: false,
+        }))
+    }
+
+    /// Attributes a page-I/O interval to this span. May be called multiple
+    /// times; deltas accumulate.
+    pub fn add_io(&mut self, delta: IoDelta) {
+        if let Some(a) = &mut self.0 {
+            a.io += delta;
+            a.has_io = true;
+        }
+    }
+
+    /// The span's full `/`-separated path (empty for an inert guard).
+    pub fn path(&self) -> &str {
+        self.0.as_ref().map_or("", |a| a.path.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            let wall = a.start.elapsed();
+            let mut spans = a.inner.spans.lock().unwrap();
+            let stats = spans.entry(a.path).or_default();
+            stats.count += 1;
+            stats.wall += wall;
+            stats.io += a.io;
+            stats.has_io |= a.has_io;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_fully_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.add("a", 1);
+        r.observe("b", 2);
+        r.gauge_set("c", 3.0);
+        let mut s = r.span("load");
+        s.add_io(IoDelta { seq_reads: 9, ..Default::default() });
+        let c = s.child("pack");
+        assert_eq!(c.path(), "");
+        drop(c);
+        drop(s);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_resolve_to_shared_cells() {
+        let r = Recorder::enabled();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.add(3);
+        c2.add(4);
+        assert_eq!(r.counter("x").get(), 7);
+        assert_eq!(r.snapshot().counters["x"], 7);
+    }
+
+    #[test]
+    fn gauges_and_histograms_round_trip() {
+        let r = Recorder::enabled();
+        r.gauge_set("ratio", 0.25);
+        r.observe("lat", 100);
+        r.observe("lat", 200);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges["ratio"], 0.25);
+        assert_eq!(snap.histograms["lat"].count, 2);
+        assert_eq!(snap.histograms["lat"].sum, 300);
+    }
+
+    #[test]
+    fn spans_nest_by_path_and_accumulate() {
+        let r = Recorder::enabled();
+        {
+            let mut load = r.span("load");
+            load.add_io(IoDelta { seq_writes: 10, ..Default::default() });
+            for t in 0..2 {
+                let _tree = load.child(&format!("tree{t}"));
+            }
+            // Re-enter the same child path: count accumulates to 2.
+            let _again = load.child("tree0");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["load"].count, 1);
+        assert_eq!(snap.spans["load"].io.seq_writes, 10);
+        assert!(snap.spans["load"].has_io);
+        assert_eq!(snap.spans["load/tree0"].count, 2);
+        assert_eq!(snap.spans["load/tree1"].count, 1);
+        assert!(!snap.spans["load/tree0"].has_io);
+    }
+
+    #[test]
+    fn span_guard_moves_across_threads() {
+        let r = Recorder::enabled();
+        let root = r.span("build");
+        let guard = root.child("worker");
+        std::thread::spawn(move || drop(guard)).join().unwrap();
+        drop(root);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["build/worker"].count, 1);
+    }
+
+    #[test]
+    fn multiple_add_io_calls_accumulate() {
+        let r = Recorder::enabled();
+        let mut s = r.span("p");
+        s.add_io(IoDelta { rand_reads: 1, ..Default::default() });
+        s.add_io(IoDelta { rand_reads: 2, seq_writes: 5, ..Default::default() });
+        drop(s);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["p"].io.rand_reads, 3);
+        assert_eq!(snap.spans["p"].io.seq_writes, 5);
+    }
+}

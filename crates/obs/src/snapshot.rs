@@ -1,0 +1,321 @@
+//! Point-in-time registry copies: JSON serialization and the human-readable
+//! phase tree.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, HistogramSnapshot, IoDelta};
+
+/// Accumulated measurements for one span path, frozen at snapshot time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanSnapshot {
+    /// How many times the span was opened and closed.
+    pub count: u64,
+    /// Total wall-clock seconds across all invocations.
+    pub wall_secs: f64,
+    /// Accumulated page-I/O attributed via `SpanGuard::add_io`.
+    pub io: IoDelta,
+    /// Whether any I/O was ever attached (distinguishes "no I/O attributed"
+    /// from "measured zero I/O").
+    pub has_io: bool,
+}
+
+/// A frozen copy of a `Recorder`'s registry.
+///
+/// Maps are `BTreeMap`s so iteration (and the emitted JSON) is
+/// deterministic. Span keys are full `/`-separated paths; the hierarchy is
+/// implicit and rebuilt by [`MetricsSnapshot::render_tree`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → frozen distribution.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span path → accumulated stats.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of the I/O deltas attributed to *root* spans (paths without a
+    /// `/`). Root spans are recorded on the engine's main thread and are
+    /// designed to tile the run, so this total should reconcile with the
+    /// global `IoSnapshot` — the bench harness asserts exactly that.
+    pub fn root_io_total(&self) -> IoDelta {
+        let mut total = IoDelta::default();
+        for (path, span) in &self.spans {
+            if !path.contains('/') && span.has_io {
+                total += span.io;
+            }
+        }
+        total
+    }
+
+    /// Serializes the whole snapshot as deterministic, pretty-printed JSON.
+    ///
+    /// Hand-rolled (the build is offline, no serde). Histograms emit summary
+    /// statistics plus only their non-empty buckets as
+    /// `[bucket_lo, bucket_hi_exclusive, count]` triples.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            sep(&mut out, &mut first, "    ");
+            let _ = write!(out, "{}: {}", json_str(k), v);
+        }
+        close(&mut out, first, "  ");
+        out.push_str(",\n  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            sep(&mut out, &mut first, "    ");
+            let _ = write!(out, "{}: {}", json_str(k), json_f64(*v));
+        }
+        close(&mut out, first, "  ");
+        out.push_str(",\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            sep(&mut out, &mut first, "    ");
+            let _ = write!(
+                out,
+                "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                json_str(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
+            let mut bfirst = true;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !bfirst {
+                    out.push_str(", ");
+                }
+                bfirst = false;
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                let _ = write!(out, "[{lo}, {hi}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        close(&mut out, first, "  ");
+        out.push_str(",\n  \"spans\": {");
+        first = true;
+        for (k, s) in &self.spans {
+            sep(&mut out, &mut first, "    ");
+            let _ = write!(
+                out,
+                "{}: {{\"count\": {}, \"wall_secs\": {}",
+                json_str(k),
+                s.count,
+                json_f64(s.wall_secs),
+            );
+            if s.has_io {
+                let io = s.io;
+                let _ = write!(
+                    out,
+                    ", \"io\": {{\"seq_reads\": {}, \"rand_reads\": {}, \"seq_writes\": {}, \
+                     \"rand_writes\": {}, \"buffer_hits\": {}, \"tuples\": {}, \
+                     \"total_io\": {}, \"hit_ratio\": {}}}",
+                    io.seq_reads,
+                    io.rand_reads,
+                    io.seq_writes,
+                    io.rand_writes,
+                    io.buffer_hits,
+                    io.tuples,
+                    io.total_io(),
+                    json_f64(io.hit_ratio()),
+                );
+            }
+            out.push('}');
+        }
+        close(&mut out, first, "  ");
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders the span hierarchy as an indented text tree for stderr, e.g.
+    ///
+    /// ```text
+    /// load                              12.345s  io=10234 (seq_w=9000 rand_w=34) hit=0.93
+    ///   compute_views                    4.000s
+    ///   pack                             8.100s
+    ///     tree0 ×4                       2.020s
+    /// ```
+    ///
+    /// The `BTreeMap` path order already places parents before children, so
+    /// rendering is a single pass; depth is the number of `/` separators.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for (path, span) in &self.spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let mut label = format!("{}{}", "  ".repeat(depth), name);
+            if span.count > 1 {
+                let _ = write!(label, " \u{d7}{}", span.count);
+            }
+            let _ = write!(out, "{label:<34}{:>10.3}s", span.wall_secs);
+            if span.has_io {
+                let io = span.io;
+                let _ = write!(
+                    out,
+                    "  io={} (seq_r={} rand_r={} seq_w={} rand_w={}) hit={:.3}",
+                    io.total_io(),
+                    io.seq_reads,
+                    io.rand_reads,
+                    io.seq_writes,
+                    io.rand_writes,
+                    io.hit_ratio(),
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool, indent: &str) {
+    if *first {
+        out.push('\n');
+    } else {
+        out.push_str(",\n");
+    }
+    out.push_str(indent);
+    *first = false;
+}
+
+fn close(out: &mut String, was_empty: bool, indent: &str) {
+    if !was_empty {
+        out.push('\n');
+        out.push_str(indent);
+    }
+    out.push('}');
+}
+
+/// Escapes a string for JSON (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as valid JSON (no NaN/Inf — those become null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole f64 prints "3" — keep it a JSON number either way,
+        // but add ".0" so readers see a float.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn root_io_sums_only_roots_with_io() {
+        let r = Recorder::enabled();
+        {
+            let mut load = r.span("load");
+            load.add_io(IoDelta { seq_writes: 10, ..Default::default() });
+            let mut inner = load.child("pack");
+            inner.add_io(IoDelta { seq_writes: 7, ..Default::default() });
+        }
+        {
+            let mut update = r.span("update");
+            update.add_io(IoDelta { rand_reads: 3, ..Default::default() });
+        }
+        {
+            let _no_io = r.span("query");
+        }
+        let snap = r.snapshot();
+        let total = snap.root_io_total();
+        assert_eq!(total.seq_writes, 10); // child's 7 not double-counted
+        assert_eq!(total.rand_reads, 3);
+        assert_eq!(total.total_io(), 13);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_deterministic() {
+        let r = Recorder::enabled();
+        r.add("a.count", 5);
+        r.gauge_set("b.ratio", 0.5);
+        r.observe("c.lat", 0);
+        r.observe("c.lat", 9);
+        {
+            let mut s = r.span("load");
+            s.add_io(IoDelta { seq_reads: 2, buffer_hits: 2, ..Default::default() });
+        }
+        let j1 = r.snapshot().to_json();
+        let j2 = r.snapshot().to_json();
+        assert_eq!(j1, j2, "snapshot JSON must be deterministic");
+        // Structural smoke checks (no JSON parser in the offline build).
+        assert!(j1.contains("\"a.count\": 5"));
+        assert!(j1.contains("\"b.ratio\": 0.5"));
+        assert!(j1.contains("\"count\": 2, \"sum\": 9"));
+        assert!(j1.contains("[0, 1, 1]"), "zero bucket present: {j1}");
+        assert!(j1.contains("\"hit_ratio\": 0.5"));
+        assert_eq!(j1.matches('{').count(), j1.matches('}').count());
+        assert_eq!(j1.matches('[').count(), j1.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let s = MetricsSnapshot::default();
+        let j = s.to_json();
+        assert!(j.contains("\"counters\": {}"));
+        assert_eq!(s.render_tree(), "");
+        assert_eq!(s.root_io_total(), IoDelta::default());
+    }
+
+    #[test]
+    fn tree_renders_depth_and_counts() {
+        let r = Recorder::enabled();
+        {
+            let load = r.span("load");
+            let _a = load.child("pack");
+            let _b = load.child("pack");
+        }
+        let tree = r.snapshot().render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("load"));
+        assert!(lines[1].starts_with("  pack \u{d7}2"), "got: {}", lines[1]);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -343,6 +343,13 @@ impl TreeBuilder {
             views: self.views.clone(),
         };
         self.pool.with_page_mut(self.fid, PageId(0), |p| meta.write(p))?;
+        // Pack metrics (inert when the pool's recorder is disabled). Once per
+        // finished tree, so the one-shot registry-locking calls are fine.
+        let recorder = self.pool.recorder();
+        recorder.add("rtree.pack.trees", 1);
+        recorder.add("rtree.pack.entries", self.entry_count);
+        recorder.add("rtree.pack.leaves", leaf_count);
+        recorder.observe("rtree.pack.leaves_per_tree", leaf_count);
         PackedRTree::from_parts(self.pool.clone(), self.fid, meta)
     }
 

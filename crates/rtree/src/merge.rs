@@ -74,6 +74,10 @@ pub fn merge_pack(
     // from the new packed tree ([GL95]-style counting maintenance).
     let drop_annihilated: std::collections::HashMap<u32, bool> =
         views.iter().map(|v| (v.view, v.agg.deletion_safe())).collect();
+    // Merge metrics (inert when disabled): totals are accumulated locally and
+    // added once at the end, keeping the merge loop counter-free.
+    let recorder = pool.recorder().clone();
+    let (mut old_n, mut delta_n, mut annihilated_n) = (0u64, 0u64, 0u64);
     let mut builder = TreeBuilder::new(pool, new_fid, old.dims(), views, format)?;
     let mut old_scan = old.scanner();
     let mut a = old_scan.next_entry()?;
@@ -102,20 +106,24 @@ pub fn merge_pack(
             (None, None) => break,
             (Some(ea), None) => {
                 builder.push(ea.0, ea.1, &ea.2)?;
+                old_n += 1;
                 a = old_scan.next_entry()?;
             }
             (None, Some(eb)) => {
                 builder.push(eb.0, eb.1, &eb.2)?;
+                delta_n += 1;
                 b = delta.next_entry()?;
                 check_delta(&b)?;
             }
             (Some(ea), Some(eb)) => match entry_cmp(ea, eb) {
                 Ordering::Less => {
                     builder.push(ea.0, ea.1, &ea.2)?;
+                    old_n += 1;
                     a = old_scan.next_entry()?;
                 }
                 Ordering::Greater => {
                     builder.push(eb.0, eb.1, &eb.2)?;
+                    delta_n += 1;
                     b = delta.next_entry()?;
                     check_delta(&b)?;
                 }
@@ -126,7 +134,11 @@ pub fn merge_pack(
                         && drop_annihilated.get(&ea.0).copied().unwrap_or(false);
                     if !annihilated {
                         builder.push(ea.0, ea.1, &merged)?;
+                    } else {
+                        annihilated_n += 1;
                     }
+                    old_n += 1;
+                    delta_n += 1;
                     a = old_scan.next_entry()?;
                     b = delta.next_entry()?;
                     check_delta(&b)?;
@@ -134,7 +146,13 @@ pub fn merge_pack(
             },
         }
     }
-    builder.finish()
+    let merged = builder.finish()?;
+    recorder.add("rtree.merge.merges", 1);
+    recorder.add("rtree.merge.old_entries", old_n);
+    recorder.add("rtree.merge.delta_entries", delta_n);
+    recorder.add("rtree.merge.out_entries", merged.entry_count());
+    recorder.add("rtree.merge.annihilated_entries", annihilated_n);
+    Ok(merged)
 }
 
 #[cfg(test)]

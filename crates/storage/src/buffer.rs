@@ -18,6 +18,7 @@ use crate::io::IoStats;
 use crate::page::{Page, PageId};
 use crate::pager::{DiskFile, FileId};
 use ct_common::{CtError, Result};
+use ct_obs::Recorder;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -42,14 +43,26 @@ pub struct BufferPool {
     inner: Mutex<Inner>,
     capacity: usize,
     stats: Arc<IoStats>,
+    recorder: Recorder,
+    evictions: ct_obs::Counter,
+    writebacks: ct_obs::Counter,
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity` pages.
+    /// A pool holding at most `capacity` pages, with metrics disabled.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, stats: Arc<IoStats>) -> Self {
+        Self::with_recorder(capacity, stats, Recorder::disabled())
+    }
+
+    /// Like [`BufferPool::new`], reporting evictions and dirty write-backs to
+    /// `recorder` (`storage.buffer.evictions` / `storage.buffer.writebacks`).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_recorder(capacity: usize, stats: Arc<IoStats>, recorder: Recorder) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let frames = (0..capacity)
             .map(|_| Frame {
@@ -60,11 +73,28 @@ impl BufferPool {
                 occupied: false,
             })
             .collect();
+        let evictions = recorder.counter("storage.buffer.evictions");
+        let writebacks = recorder.counter("storage.buffer.writebacks");
         BufferPool {
             inner: Mutex::new(Inner { files: Vec::new(), frames, map: HashMap::new(), hand: 0 }),
             capacity,
             stats,
+            recorder,
+            evictions,
+            writebacks,
         }
+    }
+
+    /// The recorder this pool reports to (disabled by default). Structures
+    /// built over the pool (R-tree packing, merge-pack) reach their metrics
+    /// through this handle rather than carrying their own plumbing.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The I/O counters this pool charges into.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
     }
 
     /// Registers a file with the pool, returning its handle.
@@ -140,7 +170,7 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         for i in 0..inner.frames.len() {
             if inner.frames[i].occupied && inner.frames[i].dirty {
-                Self::write_back(&mut inner, i)?;
+                self.write_back(&mut inner, i)?;
             }
         }
         Ok(())
@@ -246,17 +276,18 @@ impl BufferPool {
                 continue;
             }
             if inner.frames[i].dirty {
-                Self::write_back(inner, i)?;
+                self.write_back(inner, i)?;
             }
             let key = inner.frames[i].key;
             inner.map.remove(&key);
             inner.frames[i].occupied = false;
+            self.evictions.inc();
             return Ok(i);
         }
         Err(CtError::invalid("buffer pool could not find a victim frame"))
     }
 
-    fn write_back(inner: &mut Inner, idx: usize) -> Result<()> {
+    fn write_back(&self, inner: &mut Inner, idx: usize) -> Result<()> {
         let (fid, pid) = inner.frames[idx].key;
         let file = inner.files[fid as usize]
             .as_ref()
@@ -264,6 +295,7 @@ impl BufferPool {
             .clone();
         file.write_page(PageId(pid), &inner.frames[idx].page)?;
         inner.frames[idx].dirty = false;
+        self.writebacks.inc();
         Ok(())
     }
 }

@@ -4,6 +4,7 @@ use crate::buffer::BufferPool;
 use crate::io::{IoSnapshot, IoStats};
 use crate::pager::{DiskFile, FileId};
 use ct_common::{CostModel, Result};
+use ct_obs::{Recorder, SpanGuard};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,6 +82,7 @@ pub struct StorageEnv {
     cost: CostModel,
     file_seq: AtomicU64,
     parallelism: Parallelism,
+    recorder: Recorder,
 }
 
 /// Default buffer pool size: 4096 × 8 KiB = 32 MiB, matching the paper's
@@ -107,9 +109,24 @@ impl StorageEnv {
         cost: CostModel,
         parallelism: Parallelism,
     ) -> Result<Self> {
+        Self::with_config_full(prefix, pool_pages, cost, parallelism, Recorder::disabled())
+    }
+
+    /// The fully explicit constructor: worker budget plus a metrics
+    /// [`Recorder`]. Pass [`Recorder::disabled`] (what every other
+    /// constructor does) for the zero-cost path; pass an enabled recorder to
+    /// have the buffer pool, sorter and everything built on top report
+    /// counters and phase spans into it.
+    pub fn with_config_full(
+        prefix: &str,
+        pool_pages: usize,
+        cost: CostModel,
+        parallelism: Parallelism,
+        recorder: Recorder,
+    ) -> Result<Self> {
         let dir = TempDir::new(prefix)?;
         let stats = Arc::new(IoStats::new());
-        let pool = Arc::new(BufferPool::new(pool_pages, stats.clone()));
+        let pool = Arc::new(BufferPool::with_recorder(pool_pages, stats.clone(), recorder.clone()));
         Ok(StorageEnv {
             dir,
             stats,
@@ -117,7 +134,27 @@ impl StorageEnv {
             cost,
             file_seq: AtomicU64::new(0),
             parallelism: Parallelism::new(parallelism.threads),
+            recorder,
         })
+    }
+
+    /// The environment's metrics recorder (disabled unless the environment
+    /// was built with [`StorageEnv::with_config_full`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Opens a root phase span (e.g. `"load"`) that, when dropped, records
+    /// both its wall time and the environment-wide page-I/O delta spanning
+    /// its lifetime.
+    ///
+    /// I/O attribution reads the *global* counters, so root phases must not
+    /// overlap each other in time; open them on the engine's main thread
+    /// around complete operations. For concurrent per-tree work, use
+    /// wall-only child spans ([`Phase::child_wall`]) instead — attributing
+    /// shared counters to concurrent siblings would misattribute.
+    pub fn phase(&self, path: &str) -> Phase {
+        Phase::open(self.recorder.span(path), &self.stats, self.recorder.is_enabled())
     }
 
     /// The environment's worker budget.
@@ -132,7 +169,11 @@ impl StorageEnv {
     /// interleaved across workers — which keeps the counter totals identical
     /// for every [`Parallelism`] setting.
     pub fn new_private_pool(&self, pages: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(pages.max(1), self.stats.clone()))
+        Arc::new(BufferPool::with_recorder(
+            pages.max(1),
+            self.stats.clone(),
+            self.recorder.clone(),
+        ))
     }
 
     /// Creates a new page file in the environment directory and registers it
@@ -190,6 +231,62 @@ impl StorageEnv {
     }
 }
 
+/// An open phase span with automatic page-I/O attribution.
+///
+/// Created by [`StorageEnv::phase`]. On drop, the wall time since opening
+/// and the delta of the environment's [`IoStats`] over the phase's lifetime
+/// are folded into the recorder under the span's path. With a disabled
+/// recorder the guard is fully inert — no snapshots are taken.
+#[derive(Debug)]
+#[must_use = "a phase measures until dropped; binding it to _ closes it immediately"]
+pub struct Phase {
+    guard: SpanGuard,
+    // `None` when the recorder is disabled (skips counter snapshots).
+    stats: Option<Arc<IoStats>>,
+    start: IoSnapshot,
+}
+
+impl Phase {
+    fn open(guard: SpanGuard, stats: &Arc<IoStats>, enabled: bool) -> Phase {
+        let (stats, start) = if enabled {
+            (Some(stats.clone()), stats.snapshot())
+        } else {
+            (None, IoSnapshot::default())
+        };
+        Phase { guard, stats, start }
+    }
+
+    /// Opens a child phase (`self`'s path + `/` + `name`) that attributes
+    /// its own I/O interval. Children must run sequentially within the
+    /// parent (same single-writer rule as root phases).
+    pub fn child(&self, name: &str) -> Phase {
+        let guard = self.guard.child(name);
+        match &self.stats {
+            Some(stats) => {
+                let start = stats.snapshot();
+                Phase { guard, stats: Some(stats.clone()), start }
+            }
+            None => Phase { guard, stats: None, start: IoSnapshot::default() },
+        }
+    }
+
+    /// Opens a wall-clock-only child span, safe to move into a worker
+    /// thread running concurrently with its siblings (no I/O attribution,
+    /// so shared global counters cannot be misattributed).
+    pub fn child_wall(&self, name: &str) -> SpanGuard {
+        self.guard.child(name)
+    }
+}
+
+impl Drop for Phase {
+    fn drop(&mut self) {
+        if let Some(stats) = &self.stats {
+            let delta = stats.snapshot().since(&self.start);
+            self.guard.add_io(delta.to_delta());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +334,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(env.parallelism().threads, 3);
+    }
+
+    #[test]
+    fn phases_attribute_io_deltas() {
+        let env = StorageEnv::with_config_full(
+            "env-phase",
+            16,
+            CostModel::default(),
+            Parallelism::default(),
+            ct_obs::Recorder::enabled(),
+        )
+        .unwrap();
+        {
+            let load = env.phase("load");
+            {
+                let _pack = load.child("pack");
+                let fid = env.create_file("t").unwrap();
+                let pid = env.pool().new_page(fid).unwrap();
+                env.pool().with_page_mut(fid, pid, |p| p.put_u64(0, 1)).unwrap();
+                env.pool().flush_all().unwrap();
+            }
+        }
+        let snap = env.recorder().snapshot();
+        let load = &snap.spans["load"];
+        let pack = &snap.spans["load/pack"];
+        assert!(load.has_io && pack.has_io);
+        assert_eq!(load.io, pack.io, "all I/O happened inside the child");
+        assert_eq!(load.io.total_io(), 1, "one page flushed");
+        assert_eq!(snap.root_io_total().total_io(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_phases_are_inert() {
+        let env = StorageEnv::new("env-phase-off").unwrap();
+        assert!(!env.recorder().is_enabled());
+        let p = env.phase("load");
+        let _w = p.child_wall("tree0");
+        drop(p);
+        assert!(env.recorder().snapshot().spans.is_empty());
     }
 
     #[test]

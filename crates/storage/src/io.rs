@@ -117,6 +117,26 @@ impl IoSnapshot {
             self.buffer_hits as f64 / logical as f64
         }
     }
+
+    /// This snapshot as the observability layer's neutral delta type, for
+    /// attaching to a [`ct_obs::SpanGuard`]. (`ct-obs` sits below this crate
+    /// in the dependency graph, so the conversion lives here.)
+    pub fn to_delta(&self) -> ct_obs::IoDelta {
+        ct_obs::IoDelta {
+            seq_reads: self.seq_reads,
+            rand_reads: self.rand_reads,
+            seq_writes: self.seq_writes,
+            rand_writes: self.rand_writes,
+            buffer_hits: self.buffer_hits,
+            tuples: self.tuples,
+        }
+    }
+}
+
+impl From<IoSnapshot> for ct_obs::IoDelta {
+    fn from(s: IoSnapshot) -> ct_obs::IoDelta {
+        s.to_delta()
+    }
 }
 
 #[cfg(test)]

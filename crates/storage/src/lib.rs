@@ -16,6 +16,11 @@
 //! * [`sort`] — external merge sort over fixed-width records, used to compute
 //!   views (\[AAD+96\]-style sort-based cube computation) and to prepare the
 //!   sorted streams the R-tree packer consumes.
+//!
+//! Observability: every constructor defaults to a disabled `ct_obs` recorder
+//! (zero cost); build the environment with [`StorageEnv::with_config_full`]
+//! to attribute page I/O and wall time to phases ([`env::Phase`]) and to
+//! light up the buffer/sorter counters documented in `OBSERVABILITY.md`.
 
 pub mod buffer;
 pub mod env;
@@ -25,7 +30,7 @@ pub mod pager;
 pub mod sort;
 
 pub use buffer::BufferPool;
-pub use env::{Parallelism, StorageEnv, TempDir};
+pub use env::{Parallelism, Phase, StorageEnv, TempDir};
 pub use io::{IoSnapshot, IoStats};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{DiskFile, FileId};

@@ -59,6 +59,11 @@ pub struct ExternalSorter<'a> {
     threads: usize,
     /// In-flight spill workers, oldest first.
     workers: Vec<JoinHandle<Result<()>>>,
+    /// Metrics (inert when the env's recorder is disabled): run count,
+    /// spilled records, records-per-run distribution.
+    runs_counter: ct_obs::Counter,
+    spilled_counter: ct_obs::Counter,
+    run_hist: ct_obs::HistogramHandle,
 }
 
 struct Run {
@@ -121,6 +126,7 @@ impl<'a> ExternalSorter<'a> {
         assert!(width * 8 <= PAGE_SIZE, "record wider than a page");
         assert!(key_cols.iter().all(|&c| c < width), "key column out of range");
         let budget_records = (budget_words / width).max(2);
+        let recorder = env.recorder();
         ExternalSorter {
             env,
             width,
@@ -131,6 +137,9 @@ impl<'a> ExternalSorter<'a> {
             pushed: 0,
             threads: env.parallelism().threads,
             workers: Vec::new(),
+            runs_counter: recorder.counter("storage.sort.runs"),
+            spilled_counter: recorder.counter("storage.sort.spilled_records"),
+            run_hist: recorder.histogram("storage.sort.run_records"),
         }
     }
 
@@ -169,8 +178,14 @@ impl<'a> ExternalSorter<'a> {
         }
         let records = (self.buf.len() / self.width) as u64;
         self.env.stats().add_tuples(records);
+        self.runs_counter.inc();
+        self.spilled_counter.add(records);
+        self.run_hist.record(records);
         let file = self.env.create_raw_file("sort-run")?;
         self.runs.push(Run { file: file.clone(), records });
+        // Wall-only span; a run spill may complete on a worker thread, where
+        // global-counter deltas could not be attributed safely anyway.
+        let span = self.env.recorder().span("sort/spill_run");
         if self.threads > 1 {
             // Bound in-flight workers by retiring the oldest first.
             if self.workers.len() + 1 >= self.threads {
@@ -181,12 +196,15 @@ impl<'a> ExternalSorter<'a> {
             let width = self.width;
             let key_cols = self.key_cols.clone();
             self.workers.push(std::thread::spawn(move || {
-                write_run(&sort_chunk(&chunk, width, &key_cols), width, file)
+                let res = write_run(&sort_chunk(&chunk, width, &key_cols), width, file);
+                drop(span);
+                res
             }));
         } else {
             let sorted = sort_chunk(&self.buf, self.width, &self.key_cols);
             self.buf.clear();
             write_run(&sorted, self.width, file)?;
+            drop(span);
         }
         Ok(())
     }
@@ -235,6 +253,7 @@ impl<'a> ExternalSorter<'a> {
             heap,
             key_cols: self.key_cols,
             stats: self.env.stats().clone(),
+            merged: self.env.recorder().counter("storage.sort.merged_records"),
         })
     }
 }
@@ -262,6 +281,8 @@ pub enum SortedStream {
         key_cols: Vec<usize>,
         /// For CPU accounting of merge work.
         stats: Arc<crate::io::IoStats>,
+        /// Metrics: records emitted by the k-way merge (inert when disabled).
+        merged: ct_obs::Counter,
     },
 }
 
@@ -277,9 +298,10 @@ impl SortedStream {
                 *pos += 1;
                 Ok(Some(data[s..s + *width].to_vec()))
             }
-            SortedStream::Merge { readers, heap, key_cols, stats } => {
+            SortedStream::Merge { readers, heap, key_cols, stats, merged } => {
                 let Some(top) = heap.pop() else { return Ok(None) };
                 stats.add_tuples(1);
+                merged.inc();
                 if let Some(next) = readers[top.run].next_record()? {
                     heap.push(HeapEntry::new(next, top.run, key_cols));
                 }
@@ -404,7 +426,7 @@ const PREFETCH_DEPTH: usize = 4;
 /// The thread reads the run's pages in the same strictly sequential order
 /// [`RunReader`] would, so per-file access classification is unchanged. If
 /// the reader is dropped before the run is drained the thread stops at the
-/// next send (at most [`PREFETCH_DEPTH`] pages past the consumed prefix).
+/// next send (at most `PREFETCH_DEPTH` pages past the consumed prefix).
 pub struct PrefetchRunReader {
     rx: Receiver<Result<Page>>,
     page: Page,

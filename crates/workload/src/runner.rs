@@ -17,14 +17,14 @@ pub struct QueryStat {
 }
 
 /// Aggregate measurements for a batch.
+///
+/// Per-query stats are the single source of truth: batch totals are
+/// *derived* (they used to be stored alongside, drifting from the I/O
+/// counters whenever one accumulation path was touched and not the other).
 #[derive(Clone, Debug, Default)]
 pub struct BatchStats {
     /// Per-query stats in execution order.
     pub queries: Vec<QueryStat>,
-    /// Total wall-clock seconds.
-    pub total_wall: f64,
-    /// Total simulated seconds.
-    pub total_sim: f64,
     /// An order-insensitive checksum over all result rows, for verifying
     /// that two engines returned identical answers.
     pub checksum: u64,
@@ -41,10 +41,21 @@ impl BatchStats {
         self.queries.is_empty()
     }
 
+    /// Total wall-clock seconds, summed over the per-query stats.
+    pub fn total_wall(&self) -> f64 {
+        self.queries.iter().map(|q| q.wall_secs).sum()
+    }
+
+    /// Total simulated seconds, summed over the per-query stats.
+    pub fn total_sim(&self) -> f64 {
+        self.queries.iter().map(|q| q.sim_secs).sum()
+    }
+
     /// Mean throughput in queries/second over simulated time.
     pub fn avg_throughput_sim(&self) -> f64 {
-        if self.total_sim > 0.0 {
-            self.len() as f64 / self.total_sim
+        let total = self.total_sim();
+        if total > 0.0 {
+            self.len() as f64 / total
         } else {
             f64::INFINITY
         }
@@ -94,6 +105,10 @@ fn checksum_rows(rows: &[QueryRow]) -> u64 {
 pub fn run_batch(engine: &dyn RolapEngine, queries: &[SliceQuery]) -> Result<BatchStats> {
     let mut stats = BatchStats::default();
     let model = *engine.env().cost_model();
+    let recorder = engine.env().recorder().clone();
+    let wall_hist = recorder.histogram("workload.query.wall_us");
+    let sim_hist = recorder.histogram("workload.query.sim_us");
+    let rows_hist = recorder.histogram("workload.query.result_rows");
     let mut checksum = 0u64;
     for q in queries {
         let before = engine.env().snapshot();
@@ -102,10 +117,11 @@ pub fn run_batch(engine: &dyn RolapEngine, queries: &[SliceQuery]) -> Result<Bat
         let wall = t0.elapsed().as_secs_f64();
         let delta = engine.env().snapshot().since(&before);
         let sim = delta.simulated_seconds(&model);
+        wall_hist.record((wall * 1e6) as u64);
+        sim_hist.record((sim * 1e6) as u64);
+        rows_hist.record(rows.len() as u64);
         checksum = checksum.wrapping_add(checksum_rows(&normalize_rows(rows.clone())));
         stats.queries.push(QueryStat { wall_secs: wall, sim_secs: sim, rows: rows.len() });
-        stats.total_wall += wall;
-        stats.total_sim += sim;
     }
     stats.checksum = checksum;
     Ok(stats)
@@ -143,8 +159,9 @@ mod tests {
             s1.checksum, s2.checksum,
             "the two configurations must return identical answers"
         );
-        assert!(s1.total_sim > 0.0);
-        assert!(s2.total_sim > 0.0);
+        assert!(s1.total_sim() > 0.0);
+        assert!(s2.total_sim() > 0.0);
+        assert!(s1.total_wall() > 0.0);
         let (min, max) = s2.throughput_window_sim(10);
         assert!(min <= max);
         assert!(s2.avg_throughput_sim() > 0.0);

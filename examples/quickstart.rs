@@ -1,8 +1,10 @@
 //! Quickstart: build a small warehouse, materialize views in Cubetrees,
-//! answer slice queries, and apply a bulk-incremental refresh.
+//! answer slice queries, apply a bulk-incremental refresh, and read the
+//! phase-attributed metrics of the whole run (OBSERVABILITY.md).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use cubetrees_repro::obs::Recorder;
 use cubetrees_repro::{
     AggFn, Catalog, ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine,
     Relation, RolapEngine, SliceQuery, ViewDef, ViewId,
@@ -34,9 +36,11 @@ fn main() {
         ViewDef::new(3, vec![], AggFn::Sum),
     ];
 
-    // --- 4. Load the Cubetree engine (SelectMapping → sort → pack).
-    let mut cubetrees =
-        CubetreeEngine::new(catalog.clone(), CubetreeConfig::new(views.clone())).unwrap();
+    // --- 4. Load the Cubetree engine (SelectMapping → sort → pack), with an
+    // enabled metrics recorder so the run can be attributed phase by phase.
+    let recorder = Recorder::enabled();
+    let config = CubetreeConfig::new(views.clone()).with_recorder(recorder.clone());
+    let mut cubetrees = CubetreeEngine::new(catalog.clone(), config).unwrap();
     cubetrees.load(&fact).unwrap();
     println!(
         "loaded {} fact rows into {} Cubetrees ({} bytes)",
@@ -90,5 +94,22 @@ fn main() {
         "storage: cubetrees {} bytes vs conventional {} bytes",
         cubetrees.storage_bytes(),
         conventional.storage_bytes()
+    );
+
+    // --- 8. Where did the time and I/O go? The recorder's phase tree
+    // attributes wall-clock, page I/O and buffer hit rate to each stage.
+    let snapshot = recorder.snapshot();
+    println!("\nphase tree of the cubetree run:");
+    print!("{}", snapshot.render_tree());
+    println!(
+        "entries packed: {}, merge-pack output entries: {}",
+        snapshot.counters.get("rtree.pack.entries").copied().unwrap_or(0),
+        snapshot.counters.get("rtree.merge.out_entries").copied().unwrap_or(0),
+    );
+    // Root phases must account for every page the engine touched.
+    assert_eq!(
+        snapshot.root_io_total().total_io(),
+        cubetrees.env().snapshot().to_delta().total_io(),
+        "phase attribution reconciles with the global I/O counters"
     );
 }

@@ -9,6 +9,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | [`obs`] | metrics registry, histograms, hierarchical phase spans |
 //! | [`common`] | points, rectangles, aggregates, schemas, queries, cost model |
 //! | [`storage`] | pages, pager with seq/rand I/O accounting, buffer pool, external sort |
 //! | [`btree`] | B+-trees (conventional baseline indexing) |
@@ -23,6 +24,7 @@ pub use ct_btree as btree;
 pub use ct_common as common;
 pub use ct_cube as cube;
 pub use ct_heap as heap;
+pub use ct_obs as obs;
 pub use ct_rtree as rtree;
 pub use ct_storage as storage;
 pub use ct_tpcd as tpcd;

@@ -1,0 +1,147 @@
+//! End-to-end contracts of the ct-obs observability layer (OBSERVABILITY.md):
+//!
+//! 1. **No drift** — running with a disabled recorder must leave every
+//!    engine-global I/O counter exactly where an uninstrumented build would:
+//!    the enabled and disabled paths produce identical `IoSnapshot`s, and
+//!    identical bytes on disk.
+//! 2. **Attribution** — with an enabled recorder, the root phases' I/O
+//!    deltas sum to the engine-global snapshot (no page traffic escapes),
+//!    and nested phases never exceed their parent.
+
+use cubetrees_repro::common::{AggFn, AttrId};
+use cubetrees_repro::obs::Recorder;
+use cubetrees_repro::{
+    Catalog, ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, Relation,
+    RolapEngine, SliceQuery, ViewDef,
+};
+
+fn setup(rows: usize) -> (Catalog, Relation, Vec<ViewDef>, [AttrId; 3]) {
+    let mut cat = Catalog::new();
+    let p = cat.add_attr("p", 9);
+    let s = cat.add_attr("s", 4);
+    let c = cat.add_attr("c", 6);
+    let mut keys = Vec::new();
+    let mut measures = Vec::new();
+    let mut x = 0xDEC0DEu64;
+    for _ in 0..rows {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.extend_from_slice(&[x % 9 + 1, (x >> 17) % 4 + 1, (x >> 29) % 6 + 1]);
+        measures.push(((x >> 43) % 25) as i64 + 1);
+    }
+    let fact = Relation::from_fact(vec![p, s, c], keys, &measures);
+    let views = vec![
+        ViewDef::new(0, vec![p, s, c], AggFn::Sum),
+        ViewDef::new(1, vec![p, s], AggFn::Sum),
+        ViewDef::new(2, vec![c], AggFn::Sum),
+        ViewDef::new(3, vec![], AggFn::Sum),
+    ];
+    (cat, fact, views, [p, s, c])
+}
+
+/// A small increment: the first 60 fact rows with bumped measures.
+fn delta(fact: &Relation) -> Relation {
+    let rows = 60;
+    let keys = fact.keys[..rows * fact.attrs.len()].to_vec();
+    let measures = vec![3i64; rows];
+    Relation::from_fact(fact.attrs.clone(), keys, &measures)
+}
+
+/// Drives a full load → query → update cycle and returns the engine's
+/// global I/O counters plus its recorder.
+fn drive_cubetree(recorder: Recorder) -> (cubetrees_repro::storage::IoSnapshot, Recorder) {
+    let (cat, fact, views, [p, s, _]) = setup(600);
+    let queries =
+        [SliceQuery::new(vec![p], vec![]), SliceQuery::new(vec![s], vec![(p, 3)])];
+    let config = CubetreeConfig::new(views).with_recorder(recorder.clone());
+    let mut engine = CubetreeEngine::new(cat, config).unwrap();
+    engine.load(&fact).unwrap();
+    for q in &queries {
+        engine.query(q).unwrap();
+    }
+    engine.update(&delta(&fact)).unwrap();
+    (engine.env().snapshot(), recorder)
+}
+
+fn drive_conventional(recorder: Recorder) -> (cubetrees_repro::storage::IoSnapshot, Recorder) {
+    let (cat, fact, views, [p, _, _]) = setup(600);
+    let q = SliceQuery::new(vec![p], vec![]);
+    let config = ConventionalConfig::new(views).with_recorder(recorder.clone());
+    let mut engine = ConventionalEngine::new(cat, config).unwrap();
+    engine.load(&fact).unwrap();
+    engine.query(&q).unwrap();
+    engine.update(&delta(&fact)).unwrap();
+    (engine.env().snapshot(), recorder)
+}
+
+#[test]
+fn disabled_recorder_adds_no_io_drift_cubetrees() {
+    let (off, _) = drive_cubetree(Recorder::disabled());
+    let (on, _) = drive_cubetree(Recorder::enabled());
+    assert_eq!(off, on, "instrumentation must not change the I/O counters");
+}
+
+#[test]
+fn disabled_recorder_adds_no_io_drift_conventional() {
+    let (off, _) = drive_conventional(Recorder::disabled());
+    let (on, _) = drive_conventional(Recorder::enabled());
+    assert_eq!(off, on, "instrumentation must not change the I/O counters");
+}
+
+#[test]
+fn root_phases_account_for_all_io() {
+    for (global, recorder) in
+        [drive_cubetree(Recorder::enabled()), drive_conventional(Recorder::enabled())]
+    {
+        let snap = recorder.snapshot();
+        let roots = snap.root_io_total();
+        let total = global.to_delta();
+        assert_eq!(roots.seq_reads, total.seq_reads);
+        assert_eq!(roots.rand_reads, total.rand_reads);
+        assert_eq!(roots.seq_writes, total.seq_writes);
+        assert_eq!(roots.rand_writes, total.rand_writes);
+        assert_eq!(roots.buffer_hits, total.buffer_hits);
+        assert_eq!(roots.tuples, total.tuples);
+        // The three root phases all exist and each nested phase stays within
+        // its parent's budget.
+        for root in ["load", "query", "update"] {
+            let parent = snap.spans.get(root).unwrap_or_else(|| panic!("missing {root}"));
+            for (path, child) in &snap.spans {
+                if let Some(rest) = path.strip_prefix(&format!("{root}/")) {
+                    if !rest.contains('/') && child.has_io {
+                        assert!(
+                            child.io.total_io() <= parent.io.total_io(),
+                            "{path} exceeds its parent's I/O"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sorter_and_pack_counters_populate() {
+    let (_, recorder) = drive_cubetree(Recorder::enabled());
+    let snap = recorder.snapshot();
+    assert!(snap.counters.get("rtree.pack.trees").copied().unwrap_or(0) > 0);
+    assert!(snap.counters.get("rtree.pack.entries").copied().unwrap_or(0) > 0);
+    assert!(snap.counters.get("rtree.merge.merges").copied().unwrap_or(0) > 0);
+    let hist = snap.histograms.get("rtree.pack.leaves_per_tree").expect("pack histogram");
+    assert!(hist.count > 0);
+    let per_view: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("core.query.by_view.v"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(per_view, 2, "both queries attributed to a view");
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let (_, recorder) = drive_cubetree(Recorder::disabled());
+    let snap = recorder.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(snap.spans.is_empty());
+}

@@ -185,7 +185,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// The output of [`vec`].
+    /// The output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
