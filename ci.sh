@@ -6,6 +6,10 @@ cd "$(dirname "$0")"
 
 cargo build --release --offline
 cargo test -q --offline
+cargo test -q --offline --test crash_recovery --test fault_matrix
 cargo clippy --offline --workspace --all-targets -- -D warnings
+# Error-path gate: ct-storage and ct-rtree deny clippy::{unwrap,expect}_used
+# at the crate level (test code exempt); check their lib targets explicitly.
+cargo clippy --offline -p ct-storage -p ct-rtree --lib -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 cargo run -q --release --offline --example quickstart > /dev/null

@@ -19,6 +19,11 @@ pub struct BenchArgs {
     pub metrics: Option<String>,
     /// Worker threads for the Cubetree sort→pack pipeline (1 = sequential).
     pub threads: usize,
+    /// Inject a failure on the Nth physical page write of the Cubetree
+    /// refresh (0 = disabled). The update must fail cleanly and leave the
+    /// on-disk state recoverable — a command-line probe of the crash-safety
+    /// contract.
+    pub faults: u64,
 }
 
 impl Default for BenchArgs {
@@ -31,6 +36,7 @@ impl Default for BenchArgs {
             json: None,
             metrics: None,
             threads: 1,
+            faults: 0,
         }
     }
 }
@@ -70,10 +76,13 @@ impl BenchArgs {
                         .expect("--threads takes an int")
                         .max(1)
                 }
+                "--faults" => {
+                    out.faults = value("--faults").parse().expect("--faults takes an int")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--queries N] [--pool-frac F] \
-                         [--json PATH] [--metrics PATH] [--threads N]"
+                         [--json PATH] [--metrics PATH] [--threads N] [--faults N]"
                     );
                     std::process::exit(0);
                 }
@@ -90,6 +99,16 @@ impl BenchArgs {
     pub fn pool_pages(&self, data_bytes: u64) -> usize {
         let bytes = (data_bytes as f64 * self.pool_frac) as usize;
         (bytes / ct_storage::PAGE_SIZE).max(128)
+    }
+
+    /// A fault plan matching the `--faults` flag: an active (but not yet
+    /// armed) plan when injection was requested, the inert plan otherwise.
+    pub fn fault_plan(&self) -> ct_storage::FaultPlan {
+        if self.faults > 0 {
+            ct_storage::FaultPlan::new()
+        } else {
+            ct_storage::FaultPlan::none()
+        }
     }
 
     /// A recorder matching the `--metrics` flag: enabled when a path was
@@ -124,6 +143,15 @@ mod tests {
         assert!(a.metrics.is_none());
         assert!(!a.recorder().is_enabled());
         assert_eq!(a.threads, 1);
+        assert_eq!(a.faults, 0);
+        assert!(!a.fault_plan().is_active());
+    }
+
+    #[test]
+    fn faults_flag_activates_plan() {
+        let a = BenchArgs::parse_from(["--faults", "3"].iter().map(|s| s.to_string()));
+        assert_eq!(a.faults, 3);
+        assert!(a.fault_plan().is_active());
     }
 
     #[test]

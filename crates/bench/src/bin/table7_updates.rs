@@ -56,7 +56,29 @@ fn main() {
         ((), wall, sim)
     };
 
-    // 3. Cubetree merge-pack.
+    // 3. Cubetree merge-pack. With --faults N the Nth physical write of the
+    // refresh fails: the update must surface a clean error (never a panic or
+    // a torn state), exercising the crash-safety contract from the CLI.
+    if args.faults > 0 {
+        let cube = &mut engines.cubetree;
+        let plan = cube.env().faults().clone();
+        plan.reset();
+        plan.fail_nth_write(args.faults);
+        match cube.update(&delta) {
+            Ok(()) => eprintln!(
+                "--faults {}: refresh finished before write #{} — no fault fired",
+                args.faults, args.faults
+            ),
+            Err(e) => eprintln!(
+                "--faults {}: refresh failed cleanly ({}); manifest still names \
+                 the pre-update generation",
+                args.faults, e
+            ),
+        }
+        report.meta("injected write faults", plan.injected_writes());
+        report.emit(args.json.as_deref());
+        return;
+    }
     let cube = &mut engines.cubetree;
     let ((), cube_wall, cube_sim) = {
         let io0 = cube.env().snapshot();

@@ -51,6 +51,9 @@ pub fn build_engines(args: &BenchArgs) -> Result<Engines> {
     // Each engine gets its own registry so phase trees don't interleave.
     setup.conventional.recorder = args.recorder();
     setup.cubetree.recorder = args.recorder();
+    // --faults arms write injection against the Cubetree engine only; the
+    // plan stays trigger-free during the load (benches arm it afterwards).
+    setup.cubetree.faults = args.fault_plan();
 
     let mut conventional =
         ConventionalEngine::new(warehouse.catalog().clone(), setup.conventional)?;

@@ -18,6 +18,10 @@ pub enum CtError {
     /// An invariant the caller must uphold was violated
     /// (e.g. loading unsorted input into a packed structure).
     InvalidArgument(String),
+    /// A fault injected by a test's `FaultPlan` (deterministic failure
+    /// testing). Distinct from [`CtError::Io`] so fault-matrix tests can
+    /// tell an injected failure from a real one.
+    Injected(String),
 }
 
 impl fmt::Display for CtError {
@@ -27,6 +31,7 @@ impl fmt::Display for CtError {
             CtError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             CtError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CtError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            CtError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -60,6 +65,16 @@ impl CtError {
     /// Convenience constructor for invalid-argument errors.
     pub fn invalid(msg: impl Into<String>) -> Self {
         CtError::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for injected (fault-plan) errors.
+    pub fn injected(msg: impl Into<String>) -> Self {
+        CtError::Injected(msg.into())
+    }
+
+    /// True for faults raised by a `FaultPlan` rather than the real world.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, CtError::Injected(_))
     }
 }
 

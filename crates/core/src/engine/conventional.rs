@@ -45,6 +45,8 @@ pub struct ConventionalConfig {
     pub cost: CostModel,
     /// Metrics recorder; disabled by default (zero-cost probes).
     pub recorder: ct_obs::Recorder,
+    /// Deterministic fault-injection plan; inert by default.
+    pub faults: ct_storage::FaultPlan,
 }
 
 impl ConventionalConfig {
@@ -56,6 +58,7 @@ impl ConventionalConfig {
             pool_pages: DEFAULT_POOL_PAGES,
             cost: CostModel::default(),
             recorder: ct_obs::Recorder::disabled(),
+            faults: ct_storage::FaultPlan::none(),
         }
     }
 
@@ -68,6 +71,12 @@ impl ConventionalConfig {
     /// Attaches a metrics recorder (see [`ct_obs::Recorder::enabled`]).
     pub fn with_recorder(mut self, recorder: ct_obs::Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a fault-injection plan (see [`ct_storage::FaultPlan`]).
+    pub fn with_faults(mut self, faults: ct_storage::FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -121,12 +130,13 @@ impl ConventionalEngine {
                 ));
             }
         }
-        let env = StorageEnv::with_config_full(
+        let env = StorageEnv::with_config_faults(
             "conventional",
             config.pool_pages,
             config.cost,
             ct_storage::Parallelism::default(),
             config.recorder.clone(),
+            config.faults.clone(),
         )?;
         Ok(ConventionalEngine {
             env,
@@ -233,6 +243,32 @@ impl ConventionalEngine {
             io2.since(&io1).simulated_seconds(self.env.cost_model());
         self.views.push(MatView { def: def.clone(), table, table_fid, primary, secondaries, index_fids });
         Ok(())
+    }
+
+    /// Syncs every live view file and commits the durable manifest naming
+    /// them, so a crash after this point recovers to the current state.
+    fn commit_manifest(&self) -> Result<()> {
+        let mut entries = Vec::new();
+        for mv in &self.views {
+            let id = mv.def.id.0;
+            let mut fids = mv.index_fids.iter();
+            let mut named: Vec<(String, ct_storage::FileId)> =
+                vec![(format!("view-{id}-table"), mv.table_fid)];
+            if mv.primary.is_some() {
+                let fid = *fids
+                    .next()
+                    .ok_or_else(|| CtError::invalid("primary index has no backing file"))?;
+                named.push((format!("view-{id}-pk"), fid));
+            }
+            for (j, &fid) in fids.enumerate() {
+                named.push((format!("view-{id}-ix-{j}"), fid));
+            }
+            for (component, fid) in named {
+                self.env.pool().file(fid)?.sync()?;
+                entries.push(self.env.manifest_entry(&component, fid)?);
+            }
+        }
+        self.env.commit_manifest(entries)
     }
 
     /// Chooses the cheapest (view, access path) for `q`.
@@ -450,7 +486,8 @@ impl RolapEngine for ConventionalEngine {
                 self.materialize(def, &rel)?;
             }
         }
-        self.env.pool().flush_all()
+        self.env.pool().flush_all()?;
+        self.commit_manifest()
     }
 
     fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>> {
@@ -540,7 +577,8 @@ impl RolapEngine for ConventionalEngine {
                 t.flush_meta()?;
             }
         }
-        self.env.pool().flush_all()
+        self.env.pool().flush_all()?;
+        self.commit_manifest()
     }
 
     fn storage_bytes(&self) -> u64 {

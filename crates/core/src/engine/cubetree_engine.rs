@@ -32,6 +32,10 @@ pub struct CubetreeConfig {
     /// Metrics recorder; disabled by default, which keeps instrumentation
     /// zero-cost (every probe is a branch on `None`).
     pub recorder: ct_obs::Recorder,
+    /// Deterministic fault-injection plan; inert by default (every probe is
+    /// a branch on `None`). Tests arm it to kill builds and refreshes at
+    /// chosen writes or crash points.
+    pub faults: ct_storage::FaultPlan,
 }
 
 impl CubetreeConfig {
@@ -45,6 +49,7 @@ impl CubetreeConfig {
             cost: CostModel::default(),
             threads: 1,
             recorder: ct_obs::Recorder::disabled(),
+            faults: ct_storage::FaultPlan::none(),
         }
     }
 
@@ -65,6 +70,12 @@ impl CubetreeConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Attaches a fault-injection plan (see [`ct_storage::FaultPlan`]).
+    pub fn with_faults(mut self, faults: ct_storage::FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// The paper's storage organization: a SelectMapping forest of packed,
@@ -79,12 +90,13 @@ pub struct CubetreeEngine {
 impl CubetreeEngine {
     /// Creates an engine (storage environment included) for `catalog`.
     pub fn new(catalog: Catalog, config: CubetreeConfig) -> Result<Self> {
-        let env = StorageEnv::with_config_full(
+        let env = StorageEnv::with_config_faults(
             "cubetree",
             config.pool_pages,
             config.cost,
             Parallelism::new(config.threads),
             config.recorder.clone(),
+            config.faults.clone(),
         )?;
         Ok(CubetreeEngine { env, catalog, config, forest: None })
     }

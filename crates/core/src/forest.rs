@@ -38,14 +38,32 @@ use std::sync::{Arc, Mutex};
 /// One boxed per-tree job.
 type Job<'a> = Box<dyn FnOnce() -> Result<()> + Send + 'a>;
 
+/// Runs one job, converting a panic into an error so a panicking sort/pack
+/// job aborts the whole build instead of taking down (or hanging) the worker
+/// pool. The panic payload's message is preserved when it is a string.
+fn run_job_caught(job: Job<'_>) -> Result<()> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CtError::invalid(format!("worker job panicked: {msg}")))
+        }
+    }
+}
+
 /// Runs independent jobs on at most `threads` scoped workers (inline when
 /// sequential). Jobs may finish in any order but must be deterministic in
 /// isolation; on failure the error of the lowest-indexed failing job wins,
-/// so error reporting is deterministic too.
+/// so error reporting is deterministic too. A panicking job surfaces as an
+/// `Err` like any other failure.
 fn run_jobs(threads: usize, jobs: Vec<Job<'_>>) -> Result<()> {
     if threads <= 1 || jobs.len() <= 1 {
         for job in jobs {
-            job()?;
+            run_job_caught(job)?;
         }
         return Ok(());
     }
@@ -61,15 +79,19 @@ fn run_jobs(threads: usize, jobs: Vec<Job<'_>>) -> Result<()> {
                 if i >= slots.len() {
                     break;
                 }
-                let job = slots[i].lock().unwrap().take().expect("each job claimed once");
-                if let Err(e) = job() {
-                    *errors[i].lock().unwrap() = Some(e);
+                // Poisoning is impossible (locks are only held to move the
+                // job/error in or out), but recover the guard rather than
+                // panic if it ever happens.
+                let job = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take();
+                let Some(job) = job else { continue };
+                if let Err(e) = run_job_caught(job) {
+                    *errors[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(e);
                 }
             });
         }
     });
     for e in errors {
-        if let Some(e) = e.into_inner().unwrap() {
+        if let Some(e) = e.into_inner().unwrap_or_else(|p| p.into_inner()) {
             return Err(e);
         }
     }
@@ -81,6 +103,38 @@ fn run_jobs(threads: usize, jobs: Vec<Job<'_>>) -> Result<()> {
 /// worker count — so counter totals stay parallelism-independent.
 fn job_pool_pages(env: &StorageEnv, tree_count: usize) -> usize {
     (env.pool().capacity() / tree_count.max(1)).max(64)
+}
+
+/// Materializes replica definitions with fresh ids, returning the full
+/// physical view list and, for each entry, the logical view it answers.
+/// Deterministic in its inputs, so recovery can re-derive the same forest
+/// shape that was built.
+fn expand_views(
+    views: &[ViewDef],
+    replicas: &[(ViewId, Vec<AttrId>)],
+) -> Result<(Vec<ViewDef>, Vec<ViewId>)> {
+    let base_id = views.iter().map(|v| v.id.0).max().map_or(0, |m| m + 1);
+    let mut all_defs: Vec<ViewDef> = views.to_vec();
+    let mut logical: Vec<ViewId> = views.iter().map(|v| v.id).collect();
+    for (off, (base, projection)) in replicas.iter().enumerate() {
+        let base_def = views
+            .iter()
+            .find(|v| v.id == *base)
+            .ok_or_else(|| CtError::invalid(format!("replica base {base:?} not in view set")))?;
+        if !base_def.covers_exactly(projection) {
+            return Err(CtError::invalid(
+                "replica projection must be a permutation of its base view",
+            ));
+        }
+        all_defs.push(ViewDef::new(base_id + off as u32, projection.clone(), base_def.agg));
+        logical.push(*base);
+    }
+    Ok((all_defs, logical))
+}
+
+/// The manifest component name of tree `t` (`cubetree-0`, `cubetree-1`, …).
+fn tree_component(t: usize) -> String {
+    format!("cubetree-{t}")
 }
 
 /// One physical view placement in the forest.
@@ -120,22 +174,7 @@ impl CubetreeForest {
         format: LeafFormat,
     ) -> Result<CubetreeForest> {
         // Materialize replica definitions with fresh ids.
-        let base_id = views.iter().map(|v| v.id.0).max().map_or(0, |m| m + 1);
-        let mut all_defs: Vec<ViewDef> = views.to_vec();
-        let mut logical: Vec<ViewId> = views.iter().map(|v| v.id).collect();
-        for (off, (base, projection)) in replicas.iter().enumerate() {
-            let base_def = views
-                .iter()
-                .find(|v| v.id == *base)
-                .ok_or_else(|| CtError::invalid(format!("replica base {base:?} not in view set")))?;
-            if !base_def.covers_exactly(projection) {
-                return Err(CtError::invalid(
-                    "replica projection must be a permutation of its base view",
-                ));
-            }
-            all_defs.push(ViewDef::new(base_id + off as u32, projection.clone(), base_def.agg));
-            logical.push(*base);
-        }
+        let (all_defs, logical) = expand_views(views, replicas)?;
 
         // Allocate the forest.
         let plan = select_mapping(&all_defs);
@@ -215,7 +254,7 @@ impl CubetreeForest {
             let spec = spec.clone();
             let relations = &relations;
             let job_pool = env.new_private_pool(pool_share);
-            let job_fid = job_pool.register(env.pool().file(fid));
+            let job_fid = job_pool.register(env.pool().file(fid)?);
             job_pools.push((job_pool.clone(), job_fid));
             let recorder = env.recorder().clone();
             jobs.push(Box::new(move || {
@@ -244,8 +283,56 @@ impl CubetreeForest {
             env.pool().absorb_clean(job_pool, *job_fid, fid)?;
             trees.push(PackedRTree::open(env.pool().clone(), fid)?);
         }
+        // Durability commit: sync the packed files, then atomically publish
+        // them as the live file set. Until this lands, recovery treats every
+        // file of this build as an orphan.
+        let mut entries = Vec::with_capacity(tree_count);
+        for (t, &fid) in fids.iter().enumerate() {
+            env.pool().file(fid)?.sync()?;
+            entries.push(env.manifest_entry(&tree_component(t), fid)?);
+        }
+        env.commit_manifest(entries)?;
         drop(pack_phase);
         Ok(CubetreeForest { format, plan, trees, fids, placements, generation: 0 })
+    }
+
+    /// Reopens a forest from the environment's recovered manifest (after
+    /// [`ct_storage::StorageEnv::open_at`]). `views`, `replicas` and
+    /// `format` must be the same sets the forest was built with: the mapping
+    /// plan is a pure function of them, so the tree layout re-derives
+    /// deterministically and each tree re-attaches to its manifest-named
+    /// file.
+    pub fn open(
+        env: &StorageEnv,
+        views: &[ViewDef],
+        replicas: &[(ViewId, Vec<AttrId>)],
+        format: LeafFormat,
+    ) -> Result<CubetreeForest> {
+        let (all_defs, logical) = expand_views(views, replicas)?;
+        let plan = select_mapping(&all_defs);
+        let mut fids = Vec::with_capacity(plan.trees.len());
+        let mut trees = Vec::with_capacity(plan.trees.len());
+        let mut placements = Vec::with_capacity(all_defs.len());
+        for (t, spec) in plan.trees.iter().enumerate() {
+            let fid = env.open_file(&tree_component(t))?;
+            fids.push(fid);
+            for id in &spec.views {
+                let idx = all_defs
+                    .iter()
+                    .position(|d| d.id == *id)
+                    .ok_or_else(|| CtError::invalid("mapping plan names an unknown view"))?;
+                placements.push(PlacedView {
+                    def: all_defs[idx].clone(),
+                    logical: logical[idx],
+                    tree: t,
+                });
+            }
+            trees.push(PackedRTree::open(env.pool().clone(), fid)?);
+        }
+        // Resume generations past every committed one so new update files
+        // never reuse a live generation's name.
+        let generation = env.manifest().seq;
+        Ok(CubetreeForest { format, plan, trees, fids, placements, generation })
     }
 
     /// The mapping plan (for reports and tests).
@@ -335,8 +422,8 @@ impl CubetreeForest {
                 .collect();
             let spec = spec.clone();
             let job_pool = env.new_private_pool(pool_share);
-            let job_old_fid = job_pool.register(env.pool().file(old_fid));
-            let job_new_fid = job_pool.register(env.pool().file(new_fid));
+            let job_old_fid = job_pool.register(env.pool().file(old_fid)?);
+            let job_new_fid = job_pool.register(env.pool().file(new_fid)?);
             job_pools.push((job_pool.clone(), job_new_fid));
             let recorder = env.recorder().clone();
             jobs.push(Box::new(move || {
@@ -367,9 +454,23 @@ impl CubetreeForest {
         run_jobs(env.parallelism().threads, jobs)?;
         drop(merge_phase);
         let _swap_phase = env.phase("update/swap");
+        // Durability commit: sync the new generation's files, then publish
+        // them with one atomic manifest rename. Before the rename lands the
+        // old file set is live (a crash recovers to pre-update state);
+        // after it the new one is (a crash recovers to post-update state) —
+        // never anything in between.
+        env.faults().crash_point("update/pre_commit")?;
+        let mut entries = Vec::with_capacity(tree_count);
+        for (t, &new_fid) in new_fids.iter().enumerate() {
+            env.pool().file(new_fid)?.sync()?;
+            entries.push(env.manifest_entry(&tree_component(t), new_fid)?);
+        }
+        env.commit_manifest(entries)?;
+        env.faults().crash_point("update/post_commit")?;
         // Swap the freshly packed generation in, in tree order, adopting each
         // job pool's warm frames so the shared pool stays as warm as a
-        // sequential merge would have left it.
+        // sequential merge would have left it. The old files' deletion is
+        // deferred past the job pools still holding handles to them.
         for (t, &new_fid) in new_fids.iter().enumerate() {
             let old_fid = self.fids[t];
             let (job_pool, job_new_fid) = &job_pools[t];
@@ -378,6 +479,7 @@ impl CubetreeForest {
             self.fids[t] = new_fid;
             env.remove_file(old_fid)?;
         }
+        env.faults().crash_point("update/after_swap")?;
         Ok(())
     }
 }

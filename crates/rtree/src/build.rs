@@ -273,7 +273,9 @@ impl TreeBuilder {
         }
         // Record the per-view extent. Page 0 is always the meta page, so a
         // zero `first_leaf` means "not set yet".
-        let slot = self.cur_view.expect("sealing without a view");
+        let slot = self
+            .cur_view
+            .ok_or_else(|| CtError::invalid("sealing a leaf without a current view"))?;
         let ext = &mut self.views[slot].1;
         if ext.first_leaf == 0 {
             ext.first_leaf = pid.0;

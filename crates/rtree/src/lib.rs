@@ -26,6 +26,9 @@
 //!   view's slice becomes a rectangle with its padding coordinates pinned to
 //!   zero, so views never produce false positives against each other.
 
+// I/O error paths must propagate, not panic; test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod build;
 pub mod merge;
 pub mod node;

@@ -77,7 +77,7 @@ impl PackedRTree {
 
     /// Size/shape statistics.
     pub fn stats(&self) -> TreeStats {
-        let total_pages = self.pool.file(self.fid).page_count();
+        let total_pages = self.pool.file(self.fid).map_or(0, |f| f.page_count());
         TreeStats {
             leaf_pages: self.meta.leaf_count,
             internal_pages: total_pages.saturating_sub(self.meta.leaf_count + 1),

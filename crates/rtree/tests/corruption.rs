@@ -26,7 +26,7 @@ fn build(env: &StorageEnv) -> (ct_storage::FileId, PackedRTree) {
 }
 
 fn clobber(env: &StorageEnv, fid: ct_storage::FileId, pid: u64, byte: usize, value: u8) {
-    let file = env.pool().file(fid);
+    let file = env.pool().file(fid).unwrap();
     let mut page = Page::zeroed();
     file.read_page(PageId(pid), &mut page).unwrap();
     page.bytes_mut()[byte] = value;
@@ -42,7 +42,7 @@ fn corrupt_meta_magic_fails_open() {
     // Copy the clobbered meta page into a fresh file/pool so no cached
     // frame can mask the corruption.
     let env2 = StorageEnv::new("corrupt-meta2").unwrap();
-    let file = env.pool().file(fid);
+    let file = env.pool().file(fid).unwrap();
     let mut page = Page::zeroed();
     file.read_page(PageId(0), &mut page).unwrap();
     let f2 = env2.create_file("copy").unwrap();

@@ -105,15 +105,15 @@ impl BufferPool {
         id
     }
 
-    /// The registered file behind a handle.
-    ///
-    /// # Panics
-    /// Panics if the handle is stale (file was removed) or unknown.
-    pub fn file(&self, fid: FileId) -> Arc<DiskFile> {
-        self.inner.lock().files[fid.0 as usize]
-            .as_ref()
-            .expect("file was removed from the pool")
-            .clone()
+    /// The registered file behind a handle, or an error if the handle is
+    /// stale (file was removed) or unknown.
+    pub fn file(&self, fid: FileId) -> Result<Arc<DiskFile>> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(fid.0 as usize)
+            .and_then(|f| f.clone())
+            .ok_or_else(|| CtError::invalid("file was removed from the pool"))
     }
 
     /// Pool capacity in pages.
@@ -177,6 +177,12 @@ impl BufferPool {
     }
 
     /// Discards all frames of `fid` (dirty or not) and deletes the file.
+    ///
+    /// If another component still holds an `Arc<DiskFile>` to it (a raw sort
+    /// run mid-merge, a job pool mid-swap), deletion is *deferred*: the file
+    /// is doomed — every further read or write through any handle fails
+    /// loudly — and the unlink happens when the last handle drops, instead
+    /// of letting a stale handle silently write to an unlinked path.
     pub fn remove_file(&self, fid: FileId) -> Result<()> {
         let mut inner = self.inner.lock();
         for i in 0..inner.frames.len() {
@@ -190,7 +196,12 @@ impl BufferPool {
         let file = inner.files[fid.0 as usize]
             .take()
             .ok_or_else(|| CtError::invalid("file already removed"))?;
-        file.delete()
+        if Arc::strong_count(&file) > 1 {
+            file.doom();
+            Ok(())
+        } else {
+            file.delete()
+        }
     }
 
     /// Adopts `from`'s cached pages of `from_fid` into this pool under
@@ -361,7 +372,7 @@ mod tests {
         pool.with_page_mut(fid, pid, |p| p.put_u64(8, 42)).unwrap();
         pool.flush_all().unwrap();
         // Read directly from the file, bypassing the pool.
-        let file = pool.file(fid);
+        let file = pool.file(fid).unwrap();
         let mut page = Page::zeroed();
         file.read_page(pid, &mut page).unwrap();
         assert_eq!(page.get_u64(8), 42);
@@ -372,10 +383,34 @@ mod tests {
         let (_d, _s, pool, fid) = pool(4);
         let pid = pool.new_page(fid).unwrap();
         pool.with_page_mut(fid, pid, |p| p.put_u64(0, 9)).unwrap();
-        let path = pool.file(fid).path().to_path_buf();
+        let path = pool.file(fid).unwrap().path().to_path_buf();
         pool.remove_file(fid).unwrap();
         assert!(!path.exists());
         assert!(pool.with_page(fid, pid, |_| ()).is_err());
+        assert!(pool.file(fid).is_err(), "stale handle lookup errors");
+    }
+
+    #[test]
+    fn remove_file_defers_while_handles_are_live() {
+        let (_d, _s, pool, fid) = pool(4);
+        let pid = pool.new_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |p| p.put_u64(0, 9)).unwrap();
+        pool.flush_all().unwrap();
+        let held = pool.file(fid).unwrap();
+        let path = held.path().to_path_buf();
+        pool.remove_file(fid).unwrap();
+        // The concurrently-held handle keeps the path alive but is doomed:
+        // all I/O through it fails loudly instead of writing to a deleted
+        // file.
+        assert!(path.exists(), "deletion deferred until last handle drops");
+        assert!(held.is_doomed());
+        let page = Page::zeroed();
+        assert!(held.write_page(pid, &page).is_err());
+        let mut out = Page::zeroed();
+        assert!(held.read_page(pid, &mut out).is_err());
+        assert!(held.sync().is_err());
+        drop(held);
+        assert!(!path.exists(), "last handle drop unlinks the file");
     }
 
     #[test]

@@ -1,15 +1,26 @@
-//! Storage environment: a temp directory + buffer pool + counters.
+//! Storage environment: a directory + buffer pool + counters + manifest.
 
 use crate::buffer::BufferPool;
+use crate::fault::FaultPlan;
 use crate::io::{IoSnapshot, IoStats};
+use crate::manifest::{self, Manifest, ManifestEntry, Recovery};
 use crate::pager::{DiskFile, FileId};
-use ct_common::{CostModel, Result};
+use ct_common::{CostModel, CtError, Result};
 use ct_obs::{Recorder, SpanGuard};
+use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+static CLEANUP_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of temp-directory removals that failed process-wide (reported by
+/// [`TempDir`]'s drop). A non-zero value at process exit means temp state
+/// leaked; `examples/quickstart.rs` turns it into a non-zero exit code.
+pub fn cleanup_failures() -> u64 {
+    CLEANUP_FAILURES.load(Ordering::Relaxed)
+}
 
 /// A self-deleting temporary directory (removed on drop).
 #[derive(Debug)]
@@ -33,11 +44,47 @@ impl TempDir {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Removes the directory now, surfacing the error a plain drop can only
+    /// log. An already-gone directory is fine.
+    pub fn close(self) -> Result<()> {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        match std::fs::remove_dir_all(&path) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e.into()),
+            _ => Ok(()),
+        }
+    }
 }
 
 impl Drop for TempDir {
     fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.path);
+        // Drop cannot return the error, but it must not vanish either: count
+        // it for process-exit checks and say where the leak is.
+        if let Err(e) = std::fs::remove_dir_all(&self.path) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                CLEANUP_FAILURES.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warning: failed to remove temp dir {}: {e}", self.path.display());
+            }
+        }
+    }
+}
+
+/// Where an environment's files live: a self-deleting temp directory (the
+/// default) or a caller-owned persistent directory that survives the
+/// environment (what crash-recovery reopening needs).
+#[derive(Debug)]
+enum EnvDir {
+    Owned(TempDir),
+    Persistent(PathBuf),
+}
+
+impl EnvDir {
+    fn path(&self) -> &Path {
+        match self {
+            EnvDir::Owned(d) => d.path(),
+            EnvDir::Persistent(p) => p,
+        }
     }
 }
 
@@ -74,15 +121,19 @@ impl Parallelism {
 }
 
 /// Everything a storage engine needs: where files live, the shared buffer
-/// pool, the I/O counters and the cost model that prices them.
+/// pool, the I/O counters, the cost model that prices them, the durability
+/// manifest and the fault plan.
 pub struct StorageEnv {
-    dir: TempDir,
+    dir: EnvDir,
     stats: Arc<IoStats>,
     pool: Arc<BufferPool>,
     cost: CostModel,
     file_seq: AtomicU64,
     parallelism: Parallelism,
     recorder: Recorder,
+    faults: FaultPlan,
+    manifest: Mutex<Manifest>,
+    manifest_commits: ct_obs::Counter,
 }
 
 /// Default buffer pool size: 4096 × 8 KiB = 32 MiB, matching the paper's
@@ -124,18 +175,98 @@ impl StorageEnv {
         parallelism: Parallelism,
         recorder: Recorder,
     ) -> Result<Self> {
-        let dir = TempDir::new(prefix)?;
+        Self::with_config_faults(prefix, pool_pages, cost, parallelism, recorder, FaultPlan::none())
+    }
+
+    /// Like [`StorageEnv::with_config_full`] with a fault plan threaded into
+    /// every file the environment creates (see [`FaultPlan`]).
+    pub fn with_config_faults(
+        prefix: &str,
+        pool_pages: usize,
+        cost: CostModel,
+        parallelism: Parallelism,
+        recorder: Recorder,
+        faults: FaultPlan,
+    ) -> Result<Self> {
+        let dir = EnvDir::Owned(TempDir::new(prefix)?);
+        Ok(Self::assemble(dir, pool_pages, cost, parallelism, recorder, faults, Manifest::default(), 0))
+    }
+
+    /// Opens (or creates) an environment over a *persistent* directory,
+    /// running recovery first: a torn `MANIFEST.tmp` is discarded, every
+    /// manifest-named file is verified against its recorded content
+    /// checksum, and orphaned `.pages`/`.run` files from an interrupted
+    /// build or update are deleted. The directory is left on disk when the
+    /// environment drops, so a test (or a real caller) can crash an update
+    /// and reopen.
+    ///
+    /// Returns the environment plus the [`Recovery`] report. Manifest-named
+    /// files are *not* auto-registered with the pool — callers re-attach the
+    /// components they know via [`StorageEnv::open_file`].
+    pub fn open_at(
+        dir: impl AsRef<Path>,
+        pool_pages: usize,
+        cost: CostModel,
+        parallelism: Parallelism,
+        recorder: Recorder,
+        faults: FaultPlan,
+    ) -> Result<(Self, Recovery)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let recovery = manifest::recover(&dir)?;
+        recorder.counter("storage.manifest.recoveries").inc();
+        recorder
+            .counter("storage.manifest.orphans_removed")
+            .add(recovery.orphans_removed.len() as u64);
+        let man = recovery.manifest.clone().unwrap_or_default();
+        // Resume file numbering past every surviving file so new files never
+        // collide with manifest-named ones.
+        let mut next_seq = 0u64;
+        for e in &man.entries {
+            if let Some(n) = e.file.split('-').next().and_then(|p| p.parse::<u64>().ok()) {
+                next_seq = next_seq.max(n + 1);
+            }
+        }
+        let env = Self::assemble(
+            EnvDir::Persistent(dir),
+            pool_pages,
+            cost,
+            parallelism,
+            recorder,
+            faults,
+            man,
+            next_seq,
+        );
+        Ok((env, recovery))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dir: EnvDir,
+        pool_pages: usize,
+        cost: CostModel,
+        parallelism: Parallelism,
+        recorder: Recorder,
+        faults: FaultPlan,
+        manifest: Manifest,
+        next_seq: u64,
+    ) -> Self {
         let stats = Arc::new(IoStats::new());
         let pool = Arc::new(BufferPool::with_recorder(pool_pages, stats.clone(), recorder.clone()));
-        Ok(StorageEnv {
+        faults.attach_recorder(&recorder);
+        let manifest_commits = recorder.counter("storage.manifest.commits");
+        StorageEnv {
             dir,
             stats,
             pool,
             cost,
-            file_seq: AtomicU64::new(0),
+            file_seq: AtomicU64::new(next_seq),
             parallelism: Parallelism::new(parallelism.threads),
             recorder,
-        })
+            faults,
+            manifest: Mutex::new(manifest),
+            manifest_commits,
+        }
     }
 
     /// The environment's metrics recorder (disabled unless the environment
@@ -176,12 +307,23 @@ impl StorageEnv {
         ))
     }
 
+    /// The directory the environment's files live in.
+    pub fn dir_path(&self) -> &Path {
+        self.dir.path()
+    }
+
+    /// The environment's fault plan (inert unless built with
+    /// [`StorageEnv::with_config_faults`] / [`StorageEnv::open_at`]).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Creates a new page file in the environment directory and registers it
     /// with the buffer pool.
     pub fn create_file(&self, name: &str) -> Result<FileId> {
         let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.path().join(format!("{n:04}-{name}.pages"));
-        let file = Arc::new(DiskFile::create(path, self.stats.clone())?);
+        let file = Arc::new(DiskFile::create_with(path, self.stats.clone(), self.faults.clone())?);
         Ok(self.pool.register(file))
     }
 
@@ -190,14 +332,80 @@ impl StorageEnv {
     pub fn create_raw_file(&self, name: &str) -> Result<Arc<DiskFile>> {
         let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.path().join(format!("{n:04}-{name}.run"));
-        Ok(Arc::new(DiskFile::create(path, self.stats.clone())?))
+        Ok(Arc::new(DiskFile::create_with(path, self.stats.clone(), self.faults.clone())?))
+    }
+
+    /// Re-attaches the manifest-named file backing `component` (opened
+    /// without truncation) and registers it with the pool. The normal path
+    /// after [`StorageEnv::open_at`] recovery.
+    pub fn open_file(&self, component: &str) -> Result<FileId> {
+        let man = self.manifest.lock();
+        let entry = man.entry(component).ok_or_else(|| {
+            CtError::invalid(format!("manifest has no entry for component {component:?}"))
+        })?;
+        let path = self.dir.path().join(&entry.file);
+        let file =
+            Arc::new(DiskFile::open_existing(path, self.stats.clone(), self.faults.clone())?);
+        Ok(self.pool.register(file))
+    }
+
+    /// The last committed (or recovered) manifest.
+    pub fn manifest(&self) -> Manifest {
+        self.manifest.lock().clone()
+    }
+
+    /// Builds the manifest entry recording `fid`'s current on-disk state
+    /// (page count + whole-file content checksum) under `component`. The
+    /// checksum is computed via `std::fs`, so the simulated I/O counters are
+    /// untouched; call only after the file's pages are flushed.
+    pub fn manifest_entry(&self, component: &str, fid: FileId) -> Result<ManifestEntry> {
+        let file = self.pool.file(fid)?;
+        let name = file
+            .path()
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| CtError::invalid("file has no utf-8 name"))?
+            .to_string();
+        Ok(ManifestEntry {
+            component: component.to_string(),
+            file: name,
+            pages: file.page_count(),
+            checksum: manifest::file_checksum(file.path())?,
+        })
+    }
+
+    /// Atomically replaces the manifest's live file set with `entries`
+    /// (write-temp → fsync → rename → fsync-dir), bumping the commit
+    /// sequence number. This is the single commit point of every
+    /// build-then-swap: before it the old file set is live, after it the new
+    /// one is, and recovery deletes whichever side lost.
+    pub fn commit_manifest(&self, entries: Vec<ManifestEntry>) -> Result<()> {
+        let mut man = self.manifest.lock();
+        let next = Manifest { seq: man.seq + 1, entries };
+        next.write_atomic(self.dir.path(), &self.faults)?;
+        *man = next;
+        self.manifest_commits.inc();
+        Ok(())
     }
 
     /// Drops a buffered file: evicts its frames (discarding dirty state) and
-    /// deletes it from disk. Used when merge-pack replaces an old Cubetree
-    /// and when the conventional engine rebuilds views from scratch.
+    /// deletes it from disk — or, if other components still hold handles,
+    /// dooms it so deletion happens on last release and any straggler I/O
+    /// fails loudly (see [`BufferPool::remove_file`]). Used when merge-pack
+    /// replaces an old Cubetree and when the conventional engine rebuilds
+    /// views from scratch.
     pub fn remove_file(&self, fid: FileId) -> Result<()> {
         self.pool.remove_file(fid)
+    }
+
+    /// Tears the environment down now, surfacing cleanup errors a plain drop
+    /// can only log. A persistent ([`StorageEnv::open_at`]) directory is
+    /// left on disk — that durability is its point.
+    pub fn close(self) -> Result<()> {
+        match self.dir {
+            EnvDir::Owned(tmp) => tmp.close(),
+            EnvDir::Persistent(_) => Ok(()),
+        }
     }
 
     /// The shared buffer pool.
@@ -225,9 +433,9 @@ impl StorageEnv {
         self.pool.total_bytes()
     }
 
-    /// Allocated bytes of one file.
+    /// Allocated bytes of one file (zero for a removed handle).
     pub fn file_bytes(&self, fid: FileId) -> u64 {
-        self.pool.file(fid).size_bytes()
+        self.pool.file(fid).map_or(0, |f| f.size_bytes())
     }
 }
 
@@ -315,7 +523,56 @@ mod tests {
     fn raw_files_live_in_env_dir() {
         let env = StorageEnv::new("env-raw").unwrap();
         let f = env.create_raw_file("spill").unwrap();
-        assert!(f.path().starts_with(env.dir.path()));
+        assert!(f.path().starts_with(env.dir_path()));
+        env.close().unwrap();
+    }
+
+    #[test]
+    fn open_at_recovers_and_resumes_numbering() {
+        let host = TempDir::new("env-open-at").unwrap();
+        let dir = host.path().join("db");
+        let open = || {
+            StorageEnv::open_at(
+                &dir,
+                16,
+                CostModel::default(),
+                Parallelism::default(),
+                Recorder::disabled(),
+                FaultPlan::none(),
+            )
+        };
+        // First open: nothing to recover, no manifest.
+        let (env, rec) = open().unwrap();
+        assert_eq!(rec.manifest, None);
+        assert!(rec.orphans_removed.is_empty());
+        // Commit one file, leave another as an orphan (never committed).
+        let fid = env.create_file("alpha").unwrap();
+        let pid = env.pool().new_page(fid).unwrap();
+        env.pool().with_page_mut(fid, pid, |p| p.put_u64(0, 42)).unwrap();
+        env.pool().flush_all().unwrap();
+        let entry = env.manifest_entry("alpha", fid).unwrap();
+        env.commit_manifest(vec![entry.clone()]).unwrap();
+        env.create_file("orphan").unwrap();
+        drop(env);
+        assert!(dir.exists(), "persistent dir survives drop");
+        // Second open: orphan removed, manifest intact, numbering resumes.
+        let (env, rec) = open().unwrap();
+        assert_eq!(rec.orphans_removed.len(), 1);
+        let man = rec.manifest.unwrap();
+        assert_eq!(man.seq, 1);
+        assert_eq!(man.entry("alpha"), Some(&entry));
+        let fid = env.open_file("alpha").unwrap();
+        let val = env.pool().with_page(fid, crate::page::PageId(0), |p| p.get_u64(0)).unwrap();
+        assert_eq!(val, 42);
+        assert!(env.open_file("missing").is_err());
+        let fresh = env.create_file("beta").unwrap();
+        let fresh_name = env.pool().file(fresh).unwrap().path().to_path_buf();
+        assert!(
+            !fresh_name.ends_with(entry.file.as_str()),
+            "new files never collide with manifest-named ones"
+        );
+        drop(env);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

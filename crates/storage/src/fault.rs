@@ -1,0 +1,235 @@
+//! Deterministic fault injection for durability testing.
+//!
+//! A [`FaultPlan`] is a cheap, cloneable handle threaded from the
+//! [`crate::env::StorageEnv`] into every [`crate::pager::DiskFile`] it
+//! creates. An unarmed plan costs one relaxed atomic load per physical page
+//! write; an armed plan fails writes (or fires named crash points)
+//! deterministically, so `tests/crash_recovery.rs` can kill an update at
+//! every interesting instant and assert the recovery contract.
+//!
+//! Three triggers compose:
+//!
+//! * **fail the Nth write** — the Nth subsequent physical page write (1-based,
+//!   counted across all files of the environment) returns
+//!   [`ct_common::CtError::Injected`];
+//! * **fail by path** — any page write to a file whose path contains a given
+//!   substring fails;
+//! * **crash points** — named program points (e.g. `update/pre_commit`) call
+//!   [`FaultPlan::crash_point`]; if that name is armed the call fails.
+//!
+//! Once any trigger fires the plan enters the *crashed* state: every further
+//! write and crash point fails too, modeling a process that died mid-update
+//! and touches nothing more until the environment is reopened.
+
+use ct_common::{CtError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for "no Nth-write trigger armed".
+const NO_TRIGGER: u64 = u64::MAX;
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Physical page writes observed so far (armed plans only).
+    writes: AtomicU64,
+    /// Fail when `writes` reaches this value (1-based); `NO_TRIGGER` = off.
+    fail_write_at: AtomicU64,
+    /// Fail any write whose file path contains this substring.
+    fail_path: Mutex<Option<String>>,
+    /// Armed crash-point name.
+    crash_at: Mutex<Option<String>>,
+    /// Set once any trigger fired: the simulated process is dead.
+    crashed: AtomicBool,
+    /// Injected-failure tally (also mirrored to `storage.faults.*` counters
+    /// by the environment's recorder when one is attached).
+    injected_writes: AtomicU64,
+    fired_crash_points: AtomicU64,
+    obs_writes: Mutex<ct_obs::Counter>,
+    obs_crash_points: Mutex<ct_obs::Counter>,
+}
+
+/// A deterministic fault plan (see module docs). The default plan is unarmed
+/// and never fails anything.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan(Option<Arc<FaultState>>);
+
+impl FaultPlan {
+    /// A plan that never injects anything (zero-cost: no allocation, every
+    /// probe is a branch on `None`).
+    pub fn none() -> Self {
+        FaultPlan(None)
+    }
+
+    /// An armed-able plan with no triggers set yet.
+    pub fn new() -> Self {
+        FaultPlan(Some(Arc::new(FaultState {
+            fail_write_at: AtomicU64::new(NO_TRIGGER),
+            ..FaultState::default()
+        })))
+    }
+
+    /// Whether this plan can inject at all.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Mirrors injections into `storage.faults.*` counters of `recorder`.
+    pub(crate) fn attach_recorder(&self, recorder: &ct_obs::Recorder) {
+        if let Some(s) = &self.0 {
+            *s.obs_writes.lock() = recorder.counter("storage.faults.injected_writes");
+            *s.obs_crash_points.lock() = recorder.counter("storage.faults.crash_points");
+        }
+    }
+
+    /// Arms the plan to fail the `n`th subsequent physical page write
+    /// (1-based). `n = 0` disarms the trigger.
+    pub fn fail_nth_write(&self, n: u64) {
+        if let Some(s) = &self.0 {
+            s.writes.store(0, Ordering::SeqCst);
+            s.fail_write_at.store(if n == 0 { NO_TRIGGER } else { n }, Ordering::SeqCst);
+        }
+    }
+
+    /// Arms the plan to fail every page write to a file whose path contains
+    /// `substr`.
+    pub fn fail_writes_matching(&self, substr: impl Into<String>) {
+        if let Some(s) = &self.0 {
+            *s.fail_path.lock() = Some(substr.into());
+        }
+    }
+
+    /// Arms the named crash point: the next [`FaultPlan::crash_point`] call
+    /// with this name fails (and crashes the plan).
+    pub fn arm_crash_point(&self, name: impl Into<String>) {
+        if let Some(s) = &self.0 {
+            *s.crash_at.lock() = Some(name.into());
+        }
+    }
+
+    /// Clears every trigger and the crashed state (for reuse across test
+    /// iterations).
+    pub fn reset(&self) {
+        if let Some(s) = &self.0 {
+            s.writes.store(0, Ordering::SeqCst);
+            s.fail_write_at.store(NO_TRIGGER, Ordering::SeqCst);
+            *s.fail_path.lock() = None;
+            *s.crash_at.lock() = None;
+            s.crashed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of faults injected into page writes so far.
+    pub fn injected_writes(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.injected_writes.load(Ordering::SeqCst))
+    }
+
+    /// Number of crash points that fired so far.
+    pub fn fired_crash_points(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.fired_crash_points.load(Ordering::SeqCst))
+    }
+
+    /// True once any trigger has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.0.as_ref().is_some_and(|s| s.crashed.load(Ordering::SeqCst))
+    }
+
+    fn fail(&self, s: &FaultState, what: String) -> CtError {
+        s.crashed.store(true, Ordering::SeqCst);
+        CtError::injected(what)
+    }
+
+    /// Called by the pager before every physical page write; returns the
+    /// injected error if a trigger fires.
+    pub(crate) fn before_write(&self, path: &std::path::Path) -> Result<()> {
+        let Some(s) = &self.0 else { return Ok(()) };
+        if s.crashed.load(Ordering::SeqCst) {
+            s.injected_writes.fetch_add(1, Ordering::SeqCst);
+            s.obs_writes.lock().inc();
+            return Err(CtError::injected("write after simulated crash".to_string()));
+        }
+        let n = s.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == s.fail_write_at.load(Ordering::SeqCst) {
+            s.injected_writes.fetch_add(1, Ordering::SeqCst);
+            s.obs_writes.lock().inc();
+            return Err(self.fail(s, format!("write #{n} to {}", path.display())));
+        }
+        let matched = s
+            .fail_path
+            .lock()
+            .as_ref()
+            .is_some_and(|sub| path.to_string_lossy().contains(sub.as_str()));
+        if matched {
+            s.injected_writes.fetch_add(1, Ordering::SeqCst);
+            s.obs_writes.lock().inc();
+            return Err(self.fail(s, format!("write to {}", path.display())));
+        }
+        Ok(())
+    }
+
+    /// A named crash point. Call sites thread this through durability-
+    /// critical sequences; an armed (or already crashed) plan fails here.
+    pub fn crash_point(&self, name: &str) -> Result<()> {
+        let Some(s) = &self.0 else { return Ok(()) };
+        if s.crashed.load(Ordering::SeqCst) {
+            return Err(CtError::injected(format!("crash point {name} after simulated crash")));
+        }
+        let armed = s.crash_at.lock().as_deref() == Some(name);
+        if armed {
+            s.fired_crash_points.fetch_add(1, Ordering::SeqCst);
+            s.obs_crash_points.lock().inc();
+            return Err(self.fail(s, format!("crash point {name}")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn unarmed_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert!(p.before_write(Path::new("/x")).is_ok());
+        assert!(p.crash_point("anything").is_ok());
+        assert!(!p.is_crashed());
+        let armed = FaultPlan::new();
+        assert!(armed.is_active());
+        assert!(armed.before_write(Path::new("/x")).is_ok());
+        assert!(armed.crash_point("anything").is_ok());
+    }
+
+    #[test]
+    fn nth_write_fires_once_then_crashes_everything() {
+        let p = FaultPlan::new();
+        p.fail_nth_write(3);
+        assert!(p.before_write(Path::new("/a")).is_ok());
+        assert!(p.before_write(Path::new("/a")).is_ok());
+        let err = p.before_write(Path::new("/a")).unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        assert!(p.is_crashed());
+        // Everything after the crash fails too.
+        assert!(p.before_write(Path::new("/b")).is_err());
+        assert!(p.crash_point("later").is_err());
+        assert_eq!(p.injected_writes(), 2);
+    }
+
+    #[test]
+    fn path_matching_and_crash_points() {
+        let p = FaultPlan::new();
+        p.fail_writes_matching("cubetree-1");
+        assert!(p.before_write(Path::new("/t/0001-cubetree-0.pages")).is_ok());
+        assert!(p.before_write(Path::new("/t/0002-cubetree-1.pages")).is_err());
+        p.reset();
+        p.arm_crash_point("update/pre_commit");
+        assert!(p.crash_point("update/post_commit").is_ok());
+        assert!(p.crash_point("update/pre_commit").is_err());
+        assert_eq!(p.fired_crash_points(), 1);
+        p.reset();
+        assert!(!p.is_crashed());
+        assert!(p.crash_point("update/pre_commit").is_ok());
+    }
+}

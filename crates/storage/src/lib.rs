@@ -16,22 +16,36 @@
 //! * [`sort`] — external merge sort over fixed-width records, used to compute
 //!   views (\[AAD+96\]-style sort-based cube computation) and to prepare the
 //!   sorted streams the R-tree packer consumes.
+//! * [`manifest`] — the checksummed `MANIFEST` file naming each component's
+//!   live file, committed atomically (write-temp → fsync → rename) so
+//!   build-then-swap updates survive crashes; recovery-on-open verifies
+//!   content checksums and deletes orphans.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): fail the Nth
+//!   page write, fail by path match, or crash at a named point, so the crash
+//!   window of every update can be exercised in tests.
 //!
 //! Observability: every constructor defaults to a disabled `ct_obs` recorder
 //! (zero cost); build the environment with [`StorageEnv::with_config_full`]
 //! to attribute page I/O and wall time to phases ([`env::Phase`]) and to
 //! light up the buffer/sorter counters documented in `OBSERVABILITY.md`.
 
+// I/O error paths must propagate, not panic; test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod buffer;
 pub mod env;
+pub mod fault;
 pub mod io;
+pub mod manifest;
 pub mod page;
 pub mod pager;
 pub mod sort;
 
 pub use buffer::BufferPool;
 pub use env::{Parallelism, Phase, StorageEnv, TempDir};
+pub use fault::FaultPlan;
 pub use io::{IoSnapshot, IoStats};
+pub use manifest::{Manifest, ManifestEntry, Recovery};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{DiskFile, FileId};
 pub use sort::ExternalSorter;

@@ -9,6 +9,7 @@
 //! "only sequential writes to the disk" (§3.4) while relational view
 //! maintenance is dominated by random I/O.
 
+use crate::fault::FaultPlan;
 use crate::io::IoStats;
 use crate::page::{Page, PageId, PAGE_SIZE};
 use ct_common::{CtError, Result};
@@ -16,7 +17,7 @@ use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Handle to a file registered in a [`crate::buffer::BufferPool`] /
@@ -36,21 +37,66 @@ pub struct DiskFile {
     last_read: AtomicU64,
     last_write: AtomicU64,
     stats: Arc<IoStats>,
+    faults: FaultPlan,
+    /// Checksum of each page's last written (or first read) contents, for
+    /// torn-write detection on subsequent reads. Indexed by page id; `None`
+    /// means never observed.
+    sums: Mutex<Vec<Option<u64>>>,
+    /// Set by deferred removal: the file is logically deleted and will be
+    /// unlinked when the last handle drops; all I/O on it fails loudly.
+    doomed: AtomicBool,
 }
 
 impl DiskFile {
-    /// Creates (truncating) a file at `path`.
+    /// Creates (truncating) a file at `path` with no fault plan.
     pub fn create(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        Self::create_with(path, stats, FaultPlan::none())
+    }
+
+    /// Creates (truncating) a file at `path`, threading `faults` through
+    /// every subsequent page write.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        stats: Arc<IoStats>,
+        faults: FaultPlan,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
-        Ok(DiskFile {
+        Ok(Self::from_parts(path, file, 0, stats, faults))
+    }
+
+    /// Opens an existing file without truncating; the page count is taken
+    /// from the on-disk length. Used by recovery to re-attach the files a
+    /// manifest names.
+    pub fn open_existing(
+        path: impl AsRef<Path>,
+        stats: Arc<IoStats>,
+        faults: FaultPlan,
+    ) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Self::from_parts(path, file, len.div_ceil(PAGE_SIZE as u64), stats, faults))
+    }
+
+    fn from_parts(
+        path: PathBuf,
+        file: File,
+        pages: u64,
+        stats: Arc<IoStats>,
+        faults: FaultPlan,
+    ) -> Self {
+        DiskFile {
             path,
             file: Mutex::new(file),
-            pages: AtomicU64::new(0),
+            pages: AtomicU64::new(pages),
             last_read: AtomicU64::new(NO_PREV),
             last_write: AtomicU64::new(NO_PREV),
             stats,
-        })
+            faults,
+            sums: Mutex::new(Vec::new()),
+            doomed: AtomicBool::new(false),
+        }
     }
 
     /// The file's path.
@@ -74,8 +120,22 @@ impl DiskFile {
         PageId(self.pages.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Reads page `pid` into `page`, recording a sequential or random read.
+    fn check_live(&self, op: &str) -> Result<()> {
+        if self.doomed.load(Ordering::Acquire) {
+            return Err(CtError::invalid(format!(
+                "{op} on removed file {} (deletion deferred to last handle)",
+                self.path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads page `pid` into `page`, recording a sequential or random read
+    /// and verifying the page checksum when one is known. The first
+    /// observation of a page (no prior write through this handle) records
+    /// its checksum instead.
     pub fn read_page(&self, pid: PageId, page: &mut Page) -> Result<()> {
+        self.check_live("read")?;
         if pid.0 >= self.page_count() {
             return Err(CtError::invalid(format!(
                 "read past end of file: page {} of {}",
@@ -86,17 +146,38 @@ impl DiskFile {
         let prev = self.last_read.swap(pid.0, Ordering::Relaxed);
         let sequential = prev != NO_PREV && (pid.0 == prev + 1 || pid.0 == prev);
         self.stats.record_read(sequential);
-        let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(pid.byte_offset()))?;
-        // The file may be sparse past the last physical write; treat short
-        // reads of allocated-but-unwritten pages as zeroes.
-        let n = read_up_to(&mut f, page.bytes_mut())?;
-        page.bytes_mut()[n..].fill(0);
-        Ok(())
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(pid.byte_offset()))?;
+            // The file may be sparse past the last physical write; treat short
+            // reads of allocated-but-unwritten pages as zeroes.
+            let n = read_up_to(&mut f, page.bytes_mut())?;
+            page.bytes_mut()[n..].fill(0);
+        }
+        let got = page.checksum();
+        let mut sums = self.sums.lock();
+        if sums.len() <= pid.0 as usize {
+            sums.resize(pid.0 as usize + 1, None);
+        }
+        match sums[pid.0 as usize] {
+            Some(want) if want != got => Err(CtError::corrupt(format!(
+                "page checksum mismatch on {} page {} (want {want:016x}, got {got:016x})",
+                self.path.display(),
+                pid.0
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                sums[pid.0 as usize] = Some(got);
+                Ok(())
+            }
+        }
     }
 
-    /// Writes `page` at `pid`, recording a sequential or random write.
+    /// Writes `page` at `pid`, recording a sequential or random write and
+    /// the page's checksum for later read verification. An armed
+    /// [`FaultPlan`] may fail the write before any byte reaches the file.
     pub fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
+        self.check_live("write")?;
         if pid.0 >= self.page_count() {
             return Err(CtError::invalid(format!(
                 "write past end of file: page {} of {}",
@@ -104,25 +185,59 @@ impl DiskFile {
                 self.page_count()
             )));
         }
+        self.faults.before_write(&self.path)?;
         let prev = self.last_write.swap(pid.0, Ordering::Relaxed);
         let sequential = prev != NO_PREV && (pid.0 == prev + 1 || pid.0 == prev);
         self.stats.record_write(sequential);
-        let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(pid.byte_offset()))?;
-        f.write_all(page.bytes())?;
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(pid.byte_offset()))?;
+            f.write_all(page.bytes())?;
+        }
+        let mut sums = self.sums.lock();
+        if sums.len() <= pid.0 as usize {
+            sums.resize(pid.0 as usize + 1, None);
+        }
+        sums[pid.0 as usize] = Some(page.checksum());
         Ok(())
     }
 
     /// Flushes OS buffers.
     pub fn sync(&self) -> Result<()> {
+        self.check_live("sync")?;
         self.file.lock().sync_data()?;
         Ok(())
     }
 
     /// Deletes the underlying file. The handle must not be used afterwards.
     pub fn delete(&self) -> Result<()> {
+        self.doomed.store(true, Ordering::Release);
         std::fs::remove_file(&self.path)?;
         Ok(())
+    }
+
+    /// Marks the file as logically deleted: every further read/write/sync
+    /// through *any* clone of this handle fails, and the file is unlinked
+    /// when the last `Arc<DiskFile>` drops. Used by the pool when a file is
+    /// removed while other components still hold handles to it.
+    pub fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+    }
+
+    /// True once [`DiskFile::doom`] or [`DiskFile::delete`] has been called.
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DiskFile {
+    fn drop(&mut self) {
+        if self.doomed.load(Ordering::Acquire) {
+            // Deferred deletion: the unlink may already have happened (via
+            // `delete`) or the whole directory may be gone; neither needs
+            // reporting.
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 

@@ -112,4 +112,11 @@ fn main() {
         cubetrees.env().snapshot().to_delta().total_io(),
         "phase attribution reconciles with the global I/O counters"
     );
+
+    // --- 9. Exit loudly if any environment failed to clean up after itself:
+    // a swallowed temp-dir removal error must not masquerade as success.
+    drop(cubetrees);
+    drop(conventional);
+    let leaked = cubetrees_repro::storage::env::cleanup_failures();
+    assert_eq!(leaked, 0, "{leaked} environment director(ies) failed to clean up");
 }

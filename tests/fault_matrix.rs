@@ -1,0 +1,101 @@
+//! Fault matrix: for every Nth-physical-write failure, both engines must
+//! surface a clean `CtError::Injected` from load and update — never a panic,
+//! never a foreign error class, and never a success that silently dropped
+//! the fault once it has fired.
+
+use cubetrees_repro::common::AggFn;
+use cubetrees_repro::storage::FaultPlan;
+use cubetrees_repro::{
+    Catalog, ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, Relation,
+    RolapEngine, SliceQuery, ViewDef, ViewId,
+};
+
+fn setup() -> (Catalog, Relation, Relation, Vec<ViewDef>) {
+    let mut cat = Catalog::new();
+    let p = cat.add_attr("p", 6);
+    let s = cat.add_attr("s", 3);
+    let gen = |rows: usize, mut x: u64| {
+        let mut keys = Vec::new();
+        let mut measures = Vec::new();
+        for _ in 0..rows {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.extend_from_slice(&[x % 6 + 1, (x >> 20) % 3 + 1]);
+            measures.push(((x >> 40) % 5) as i64 + 1);
+        }
+        Relation::from_fact(vec![p, s], keys, &measures)
+    };
+    let views = vec![
+        ViewDef::new(0, vec![p, s], AggFn::Sum),
+        ViewDef::new(1, vec![s], AggFn::Sum),
+    ];
+    (cat, gen(250, 0xBEEF), gen(50, 0xCAFE), views)
+}
+
+/// Drives one engine through load→update with the Nth write armed. Returns
+/// whether any fault fired. Panics (test failure) on any non-injected error.
+fn drive(n: u64, engine: &mut dyn RolapEngine, plan: &FaultPlan, fact: &Relation, delta: &Relation) -> bool {
+    plan.reset();
+    plan.fail_nth_write(n);
+    let loaded = match engine.load(fact) {
+        Ok(()) => true,
+        Err(e) => {
+            assert!(e.is_injected(), "load at n={n}: foreign error {e}");
+            false
+        }
+    };
+    if loaded {
+        if let Err(e) = engine.update(delta) {
+            assert!(e.is_injected(), "update at n={n}: foreign error {e}");
+        }
+    }
+    plan.injected_writes() > 0
+}
+
+#[test]
+fn every_injected_write_surfaces_as_error_not_panic() {
+    let (cat, fact, delta, views) = setup();
+    let mut n = 1u64;
+    let mut cube_fired = 0u64;
+    let mut conv_fired = 0u64;
+    while n <= 4096 {
+        let cube_plan = FaultPlan::new();
+        let config =
+            CubetreeConfig::new(views.clone()).with_faults(cube_plan.clone());
+        let mut cube = CubetreeEngine::new(cat.clone(), config).unwrap();
+        if drive(n, &mut cube, &cube_plan, &fact, &delta) {
+            cube_fired += 1;
+        }
+
+        let conv_plan = FaultPlan::new();
+        let mut rotated = views[0].projection.clone();
+        rotated.reverse();
+        let config = ConventionalConfig::new(views.clone())
+            .with_index(ViewId(0), rotated)
+            .with_faults(conv_plan.clone());
+        let mut conv = ConventionalEngine::new(cat.clone(), config).unwrap();
+        if drive(n, &mut conv, &conv_plan, &fact, &delta) {
+            conv_fired += 1;
+        }
+
+        // Dense coverage of the early writes, exponential tail after.
+        n = if n < 64 { n + 1 } else { n * 2 };
+    }
+    assert!(cube_fired > 0, "the sweep never hit a Cubetree write");
+    assert!(conv_fired > 0, "the sweep never hit a conventional write");
+}
+
+#[test]
+fn disarmed_plan_changes_nothing() {
+    // An active but trigger-free plan must not perturb results: the engines
+    // load, update and answer queries exactly as with the inert plan.
+    let (cat, fact, delta, views) = setup();
+    let answer = |config: CubetreeConfig| {
+        let mut e = CubetreeEngine::new(cat.clone(), config).unwrap();
+        e.load(&fact).unwrap();
+        e.update(&delta).unwrap();
+        e.query(&SliceQuery::new(vec![], vec![])).unwrap()
+    };
+    let inert = answer(CubetreeConfig::new(views.clone()));
+    let active = answer(CubetreeConfig::new(views).with_faults(FaultPlan::new()));
+    assert_eq!(inert, active);
+}

@@ -53,7 +53,7 @@ fn tree_bytes(engine: &CubetreeEngine) -> Vec<Vec<u8>> {
         .trees()
         .iter()
         .map(|t| {
-            let path = engine.env().pool().file(t.file_id()).path().to_path_buf();
+            let path = engine.env().pool().file(t.file_id()).unwrap().path().to_path_buf();
             std::fs::read(path).unwrap()
         })
         .collect()
