@@ -7,9 +7,19 @@ cd "$(dirname "$0")"
 cargo build --release --offline
 cargo test -q --offline
 cargo test -q --offline --test crash_recovery --test fault_matrix
+# Query-path determinism gate: the scheduled batch engine must answer
+# identically to the sequential loop at every thread count.
+cargo test -q --offline --test parallel_query_equivalence
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Error-path gate: ct-storage and ct-rtree deny clippy::{unwrap,expect}_used
 # at the crate level (test code exempt); check their lib targets explicitly.
 cargo clippy --offline -p ct-storage -p ct-rtree --lib -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 cargo run -q --release --offline --example quickstart > /dev/null
+# Parallel query smoke: a scheduled, metrics-enabled Figure 12 run.
+cargo run -q --release --offline -p ct-bench --bin fig12_queries -- \
+  --sf 0.005 --queries 20 --threads 2 --metrics target/fig12_metrics.json > /dev/null
+# Scaling baseline: exits non-zero if the parallel batch reads more pages
+# than the sequential one; BENCH_queries.json records wall/I-O/sched stats.
+cargo run -q --release --offline -p ct-bench --bin bench_queries -- \
+  --sf 0.05 --queries 200 --threads 4 --json BENCH_queries.json > /dev/null

@@ -1,0 +1,120 @@
+//! Query-batch scaling baseline: the same batch against two identically
+//! loaded Cubetree engines, one sequential (`threads = 1`) and one parallel
+//! (`--threads`, floored at 2), recording wall time, page-I/O counters and
+//! scheduler statistics. The default output is `BENCH_queries.json` so CI
+//! can keep a machine-readable record that batch scheduling improves wall
+//! time without regressing physical I/O.
+
+use ct_bench::experiments::estimate_data_bytes;
+use ct_bench::report::{fmt_ratio, sched_section, Report};
+use ct_bench::BenchArgs;
+use ct_tpcd::{TpcdConfig, TpcdWarehouse};
+use ct_workload::{paper_configs, run_batch, BatchStats, QueryGenerator};
+use cubetree::engine::{CubetreeEngine, RolapEngine};
+use std::time::Instant;
+
+struct Measured {
+    stats: BatchStats,
+    wall: f64,
+    sim: f64,
+    seq_reads: u64,
+    rand_reads: u64,
+    buffer_hits: u64,
+}
+
+fn measure(engine: &CubetreeEngine, queries: &[ct_common::SliceQuery]) -> Measured {
+    let before = engine.env().snapshot();
+    let t0 = Instant::now();
+    let stats = run_batch(engine, queries).expect("query batch");
+    let wall = t0.elapsed().as_secs_f64();
+    let io = engine.env().snapshot().since(&before);
+    Measured {
+        stats,
+        wall,
+        sim: io.simulated_seconds(engine.env().cost_model()),
+        seq_reads: io.seq_reads,
+        rand_reads: io.rand_reads,
+        buffer_hits: io.buffer_hits,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let threads = args.threads.max(2);
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: args.seed });
+    let fact = w.generate_fact();
+    let setup = paper_configs(&w);
+    let pool = args.pool_pages(estimate_data_bytes(fact.len() as u64));
+
+    let build = |threads: usize| -> CubetreeEngine {
+        let mut cfg = setup.cubetree.clone().with_threads(threads);
+        cfg.pool_pages = pool;
+        cfg.recorder = args.recorder();
+        let mut engine =
+            CubetreeEngine::new(w.catalog().clone(), cfg).expect("cubetree engine");
+        engine.load(&fact).expect("cubetree load");
+        engine
+    };
+    let seq = build(1);
+    let par = build(threads);
+
+    let a = w.attrs();
+    let mut generator = QueryGenerator::new(
+        w.catalog(),
+        vec![a.partkey, a.suppkey, a.custkey],
+        args.seed,
+    );
+    let queries = generator.batch(args.queries.max(2));
+
+    let m1 = measure(&seq, &queries);
+    let mn = measure(&par, &queries);
+    assert_eq!(
+        m1.stats.checksum, mn.stats.checksum,
+        "thread counts disagreed on query answers"
+    );
+
+    let mut report = Report::new("bench_queries", "query-batch scaling baseline", args.sf);
+    report.meta("queries", queries.len());
+    report.meta("fact rows", fact.len());
+    report.meta("threads", threads);
+    report.meta("checksums equal", m1.stats.checksum == mn.stats.checksum);
+
+    let s = report.section(
+        "batch execution",
+        &["configuration", "wall secs", "sim secs", "seq reads", "rand reads", "buffer hits"],
+    );
+    for (name, m) in [("threads=1", &m1), ("parallel", &mn)] {
+        s.row(vec![
+            if name == "parallel" { format!("threads={threads}") } else { name.into() },
+            format!("{:.4}", m.wall),
+            format!("{:.4}", m.sim),
+            m.seq_reads.to_string(),
+            m.rand_reads.to_string(),
+            m.buffer_hits.to_string(),
+        ]);
+    }
+    let pages_seq = m1.seq_reads + m1.rand_reads;
+    let pages_par = mn.seq_reads + mn.rand_reads;
+    let s2 = report.section("scaling", &["metric", "value"]);
+    s2.row(vec!["wall speedup (threads=1 / parallel)".into(), fmt_ratio(m1.wall, mn.wall)]);
+    s2.row(vec!["pages read, threads=1".into(), pages_seq.to_string()]);
+    s2.row(vec!["pages read, parallel".into(), pages_par.to_string()]);
+    s2.row(vec![
+        "pages read non-regression".into(),
+        (pages_par <= pages_seq).to_string(),
+    ]);
+    sched_section(&mut report, &[&mn.stats]);
+
+    let json = args.json.clone().unwrap_or_else(|| "BENCH_queries.json".into());
+    report.emit(Some(&json));
+    ct_bench::metrics::emit_metrics_if_requested(
+        args.metrics.as_deref(),
+        &[("threads1", seq.env()), ("parallel", par.env())],
+    );
+    if pages_par > pages_seq {
+        eprintln!(
+            "warning: parallel batch read {pages_par} pages vs {pages_seq} sequential"
+        );
+        std::process::exit(1);
+    }
+}

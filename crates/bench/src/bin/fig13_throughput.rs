@@ -6,7 +6,7 @@
 //! system low for the Cubetrees implementation."
 
 use ct_bench::experiments::build_engines_or_die;
-use ct_bench::report::{fmt_ratio, Report};
+use ct_bench::report::{fmt_ratio, sched_section, Report};
 use ct_bench::BenchArgs;
 use cubetree::engine::RolapEngine;
 use ct_workload::{run_batch, QueryGenerator};
@@ -32,6 +32,7 @@ fn main() {
     let mut report = Report::new("fig13_throughput", "Figure 13", args.sf);
     report.meta("queries", total_queries);
     report.meta("window (queries)", window);
+    report.meta("threads", args.threads);
     let (conv_min, conv_max) = conv.throughput_window_sim(window);
     let (cube_min, cube_max) = cube.throughput_window_sim(window);
     let s = report.section(
@@ -59,6 +60,7 @@ fn main() {
         "cubetree min vs conventional max".into(),
         fmt_ratio(cube_min, conv_max),
     ]);
+    sched_section(&mut report, &[&cube]);
     report.emit(args.json.as_deref());
     ct_bench::metrics::emit_metrics_if_requested(
         args.metrics.as_deref(),

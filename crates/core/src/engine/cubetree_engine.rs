@@ -1,8 +1,8 @@
 //! The Cubetree storage engine (the paper's proposal).
 
-use crate::engine::RolapEngine;
+use crate::engine::{BatchResult, RolapEngine};
 use crate::forest::CubetreeForest;
-use crate::query::execute_forest_query;
+use crate::query::{execute_forest_query, execute_forest_query_batch};
 use ct_common::query::QueryRow;
 use ct_common::{AttrId, Catalog, CostModel, CtError, Result, SliceQuery, ViewDef, ViewId};
 use ct_cube::Relation;
@@ -133,6 +133,21 @@ impl RolapEngine for CubetreeEngine {
 
     fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>> {
         execute_forest_query(self.forest_ref()?, &self.env, &self.catalog, q)
+    }
+
+    fn query_batch(&self, queries: &[SliceQuery]) -> Result<BatchResult> {
+        // The scheduler is reserved for parallel environments: at threads=1
+        // the sequential per-query loop is the pinned bit-identical baseline
+        // (results *and* IoSnapshot), so nothing may reorder or prefetch.
+        if self.env.parallelism().is_parallel() && queries.len() > 1 {
+            let out =
+                execute_forest_query_batch(self.forest_ref()?, &self.env, &self.catalog, queries)?;
+            Ok(BatchResult { results: out.results, sched: Some(out.sched) })
+        } else {
+            let results =
+                queries.iter().map(|q| self.query(q)).collect::<Result<Vec<_>>>()?;
+            Ok(BatchResult { results, sched: None })
+        }
     }
 
     fn update(&mut self, delta: &Relation) -> Result<()> {

@@ -16,10 +16,20 @@ mod cubetree_engine;
 pub use conventional::{ConventionalConfig, ConventionalEngine, LoadBreakdown};
 pub use cubetree_engine::{CubetreeConfig, CubetreeEngine};
 
+use crate::sched::SchedSummary;
 use ct_common::query::QueryRow;
 use ct_common::{Catalog, Result, SliceQuery};
 use ct_cube::Relation;
 use ct_storage::StorageEnv;
+
+/// Results of answering a whole query batch.
+pub struct BatchResult {
+    /// Per-query result rows, positionally aligned with the input batch.
+    pub results: Vec<Vec<QueryRow>>,
+    /// Scheduler statistics, when the engine ran the batch through a
+    /// scheduler (`None` for the sequential fallback).
+    pub sched: Option<SchedSummary>,
+}
 
 /// A complete ROLAP storage engine: load a fact relation, answer slice
 /// queries, apply bulk increments.
@@ -32,6 +42,16 @@ pub trait RolapEngine {
 
     /// Answers one slice query from the materialized views.
     fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>>;
+
+    /// Answers a batch of slice queries. The default implementation runs
+    /// [`RolapEngine::query`] sequentially in arrival order; engines may
+    /// override it to schedule and parallelize the batch, as long as the
+    /// per-query results are identical to the sequential loop's.
+    fn query_batch(&self, queries: &[SliceQuery]) -> Result<BatchResult> {
+        let results =
+            queries.iter().map(|q| self.query(q)).collect::<Result<Vec<_>>>()?;
+        Ok(BatchResult { results, sched: None })
+    }
 
     /// Applies a fact-table increment to every materialized view
     /// (each engine's native refresh strategy).

@@ -26,77 +26,14 @@
 //! bit for bit). The view-computation DAG stays sequential: its steps feed
 //! one another, and its inner sorts already parallelize run generation.
 
+use crate::jobs::{run_jobs, Job};
 use crate::select_mapping::{select_mapping, MappingPlan};
 use ct_common::{AttrId, Catalog, CtError, Point, Result, ViewDef, ViewId};
 use ct_cube::compute::packed_sort_cols;
 use ct_cube::{compute_view, plan_computation, PlanSource, Relation, SizeEstimator};
 use ct_rtree::{merge_pack, LeafFormat, PackedRTree, TreeBuilder, VecStream, ViewInfo};
 use ct_storage::{BufferPool, FileId, StorageEnv};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-
-/// One boxed per-tree job.
-type Job<'a> = Box<dyn FnOnce() -> Result<()> + Send + 'a>;
-
-/// Runs one job, converting a panic into an error so a panicking sort/pack
-/// job aborts the whole build instead of taking down (or hanging) the worker
-/// pool. The panic payload's message is preserved when it is a string.
-fn run_job_caught(job: Job<'_>) -> Result<()> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
-        Ok(r) => r,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(CtError::invalid(format!("worker job panicked: {msg}")))
-        }
-    }
-}
-
-/// Runs independent jobs on at most `threads` scoped workers (inline when
-/// sequential). Jobs may finish in any order but must be deterministic in
-/// isolation; on failure the error of the lowest-indexed failing job wins,
-/// so error reporting is deterministic too. A panicking job surfaces as an
-/// `Err` like any other failure.
-fn run_jobs(threads: usize, jobs: Vec<Job<'_>>) -> Result<()> {
-    if threads <= 1 || jobs.len() <= 1 {
-        for job in jobs {
-            run_job_caught(job)?;
-        }
-        return Ok(());
-    }
-    let workers = threads.min(jobs.len());
-    let slots: Vec<Mutex<Option<Job<'_>>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let errors: Vec<Mutex<Option<CtError>>> =
-        slots.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= slots.len() {
-                    break;
-                }
-                // Poisoning is impossible (locks are only held to move the
-                // job/error in or out), but recover the guard rather than
-                // panic if it ever happens.
-                let job = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take();
-                let Some(job) = job else { continue };
-                if let Err(e) = run_job_caught(job) {
-                    *errors[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(e);
-                }
-            });
-        }
-    });
-    for e in errors {
-        if let Some(e) = e.into_inner().unwrap_or_else(|p| p.into_inner()) {
-            return Err(e);
-        }
-    }
-    Ok(())
-}
+use std::sync::Arc;
 
 /// Frames each per-tree job's private pool gets: an even share of the
 /// environment's pool. A function of the forest shape only — never of the

@@ -1,0 +1,114 @@
+//! Scoped-worker job dispatch shared by the build/refresh pipeline
+//! ([`crate::forest`]) and the batched query executor ([`crate::query`]).
+//!
+//! Jobs are independent units dispatched over a bounded pool of scoped
+//! threads; work-stealing is a single atomic cursor over a slot vector.
+//! Error reporting is deterministic: the error of the lowest-indexed failing
+//! job wins regardless of completion order, and a panicking job surfaces as
+//! an `Err` instead of taking down (or hanging) the pool.
+
+use ct_common::{CtError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One boxed job.
+pub(crate) type Job<'a> = Box<dyn FnOnce() -> Result<()> + Send + 'a>;
+
+/// Runs one job, converting a panic into an error. The panic payload's
+/// message is preserved when it is a string.
+fn run_job_caught(job: Job<'_>) -> Result<()> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CtError::invalid(format!("worker job panicked: {msg}")))
+        }
+    }
+}
+
+/// Runs independent jobs on at most `threads` scoped workers (inline when
+/// sequential). Jobs may finish in any order but must be deterministic in
+/// isolation; on failure the error of the lowest-indexed failing job wins,
+/// so error reporting is deterministic too.
+pub(crate) fn run_jobs(threads: usize, jobs: Vec<Job<'_>>) -> Result<()> {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            run_job_caught(job)?;
+        }
+        return Ok(());
+    }
+    let workers = threads.min(jobs.len());
+    let slots: Vec<Mutex<Option<Job<'_>>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let errors: Vec<Mutex<Option<CtError>>> =
+        slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= slots.len() {
+                    break;
+                }
+                // Poisoning is impossible (locks are only held to move the
+                // job/error in or out), but recover the guard rather than
+                // panic if it ever happens.
+                let job = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take();
+                let Some(job) = job else { continue };
+                if let Err(e) = run_job_caught(job) {
+                    *errors[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(e);
+                }
+            });
+        }
+    });
+    for e in errors {
+        if let Some(e) = e.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn all_jobs_run_at_any_thread_count() {
+        for threads in [1, 2, 4, 16] {
+            let done = AtomicU64::new(0);
+            let jobs: Vec<Job<'_>> = (0..10)
+                .map(|_| {
+                    Box::new(|| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    }) as Job<'_>
+                })
+                .collect();
+            run_jobs(threads, jobs).unwrap();
+            assert_eq!(done.load(Ordering::SeqCst), 10);
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let jobs: Vec<Job<'_>> = vec![
+            Box::new(|| Ok(())),
+            Box::new(|| Err(CtError::invalid("second"))),
+            Box::new(|| Err(CtError::invalid("third"))),
+        ];
+        let err = run_jobs(4, jobs).unwrap_err();
+        assert!(err.to_string().contains("second"), "got: {err}");
+    }
+
+    #[test]
+    fn panics_become_errors() {
+        let jobs: Vec<Job<'_>> = vec![Box::new(|| panic!("boom"))];
+        let err = run_jobs(2, jobs).unwrap_err();
+        assert!(err.to_string().contains("boom"), "got: {err}");
+    }
+}

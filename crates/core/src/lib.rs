@@ -52,9 +52,12 @@
 
 pub mod engine;
 pub mod forest;
+mod jobs;
 pub mod query;
+pub mod sched;
 pub mod select_mapping;
 
 pub use engine::{ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, RolapEngine};
 pub use forest::CubetreeForest;
+pub use sched::SchedSummary;
 pub use select_mapping::{select_mapping, MappingPlan, TreeSpec};

@@ -10,11 +10,19 @@
 //! that is exactly what the paper's multi-sort-order replicas are for.
 
 use crate::forest::CubetreeForest;
+use crate::jobs::{run_jobs, Job};
+use crate::sched::{schedule, SchedSummary};
 use ct_common::query::QueryRow;
 use ct_common::{
-    AggFn, AggState, AttrId, Catalog, CtError, Hierarchy, Rect, Result, SliceQuery, COORD_MAX,
+    AggFn, AggState, AttrId, Catalog, CtError, Hierarchy, Rect, Result, SliceQuery, ViewDef,
+    COORD_MAX,
 };
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Leaf pages prefetched ahead of a confirmed sequential sweep in the
+/// batched executor (see [`ct_rtree::PackedRTree::search_with_readahead`]).
+pub const READAHEAD_WINDOW: usize = 8;
 
 /// Streaming group-by aggregator with hierarchy rollup and residual
 /// predicate checking.
@@ -197,27 +205,14 @@ pub fn plan_forest_query(
     })
 }
 
-/// Plans and executes `q` against the forest. `env` is charged the CPU
-/// tuple cost of the entries the search touches.
-pub fn execute_forest_query(
-    forest: &CubetreeForest,
-    env: &ct_storage::StorageEnv,
-    catalog: &Catalog,
-    q: &SliceQuery,
-) -> Result<Vec<QueryRow>> {
-    // Root phase: successive queries accumulate under one "query" span whose
-    // I/O delta reconciles against the global counters.
-    let _phase = env.phase("query");
-    let plan = plan_forest_query(forest, catalog, q)?;
-    let placement = &forest.placements()[plan.placement];
-    let tree = forest.tree(placement.tree);
-    let dims = tree.dims();
-    let arity = placement.def.arity();
-    // Region: direct predicates pin their axis, open attributes span
-    // [1, COORD_MAX], padding axes pin to 0 (paper Figure 4).
+/// The search region of `q` over a placement with definition `def` in a
+/// `dims`-dimensional tree: direct predicates pin their axis, open
+/// attributes span `[1, COORD_MAX]`, padding axes pin to 0 (paper Figure 4).
+pub(crate) fn query_region(def: &ViewDef, dims: usize, q: &SliceQuery) -> Rect {
+    let arity = def.arity();
     let mut lo = vec![0u64; dims];
     let mut hi = vec![0u64; dims];
-    for (axis, attr) in placement.def.projection.iter().enumerate() {
+    for (axis, attr) in def.projection.iter().enumerate() {
         match q.range_of(*attr) {
             Some((l, h)) => {
                 lo[axis] = l.max(1);
@@ -233,7 +228,25 @@ pub fn execute_forest_query(
         lo[axis] = 0;
         hi[axis] = 0;
     }
-    let region = Rect::new(&lo, &hi);
+    Rect::new(&lo, &hi)
+}
+
+/// Plans and executes `q` against the forest. `env` is charged the CPU
+/// tuple cost of the entries the search touches.
+pub fn execute_forest_query(
+    forest: &CubetreeForest,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<Vec<QueryRow>> {
+    // Root phase: successive queries accumulate under one "query" span whose
+    // I/O delta reconciles against the global counters.
+    let _phase = env.phase("query");
+    let plan = plan_forest_query(forest, catalog, q)?;
+    let placement = &forest.placements()[plan.placement];
+    let tree = forest.tree(placement.tree);
+    let region = query_region(&placement.def, tree.dims(), q);
+    let arity = placement.def.arity();
     let mut agg = RollupAggregator::new(catalog, &placement.def.projection, q)?;
     let want = placement.def.id.0;
     let mut touched = 0u64;
@@ -251,6 +264,125 @@ pub fn execute_forest_query(
         recorder.add(&format!("core.query.by_view.v{}", placement.def.id.0), 1);
     }
     Ok(agg.finish(placement.def.agg))
+}
+
+/// Results of one scheduled batch execution.
+pub struct BatchOutput {
+    /// Per-query result rows, positionally aligned with the input batch.
+    pub results: Vec<Vec<QueryRow>>,
+    /// What the scheduler did with the batch.
+    pub sched: SchedSummary,
+}
+
+/// Plans, schedules and executes a whole batch against the forest.
+///
+/// The batch is partitioned into per-tree groups (see [`crate::sched`]);
+/// groups run concurrently on the environment's worker budget while queries
+/// inside a group sweep their tree's leaf runs in packed order with
+/// readahead. Consecutive queries with identical placement and region share
+/// one leaf pass: the tree is searched once and every rider's aggregator is
+/// fed from it (safe because [`RollupAggregator`] re-checks all predicates),
+/// with the touched-tuple cost charged once for the pass.
+///
+/// Per-query results and counters are identical to running the sequential
+/// executor query by query; only execution order (and therefore interleaved
+/// I/O attribution at `threads > 1`) differs. Execution errors surface with
+/// the lowest batch index among failing *groups* — planning errors, the
+/// common case, are reported for the first offending query exactly like the
+/// sequential loop.
+pub fn execute_forest_query_batch(
+    forest: &CubetreeForest,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    queries: &[SliceQuery],
+) -> Result<BatchOutput> {
+    // One root "query" phase around the whole batch, opened and dropped on
+    // the calling thread so root phases never overlap and the I/O delta
+    // reconciles against the global counters.
+    let phase = env.phase("query");
+    let (groups, sched) = schedule(forest, catalog, queries)?;
+    let recorder = env.recorder().clone();
+    if recorder.is_enabled() {
+        recorder.add("query.sched.batches", 1);
+        recorder.add("query.sched.groups", sched.groups);
+        recorder.add("query.sched.reordered", sched.reordered);
+        recorder.add("query.sched.shared_scans", sched.shared_scans);
+    }
+    let slots: Vec<Mutex<Option<Vec<QueryRow>>>> =
+        queries.iter().map(|_| Mutex::new(None)).collect();
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(groups.len());
+    for group in groups {
+        let slots = &slots;
+        let recorder = recorder.clone();
+        jobs.push(Box::new(move || {
+            // Wall-only span: concurrent groups cannot split the shared I/O
+            // counters, so per-group spans time only.
+            let _span = recorder.span(&format!("query/tree{}", group.tree));
+            let tree = forest.tree(group.tree);
+            let mut i = 0;
+            while i < group.queries.len() {
+                // Extend the shared-scan unit over identical scans.
+                let mut j = i + 1;
+                while j < group.queries.len()
+                    && group.queries[j].plan.placement == group.queries[i].plan.placement
+                    && group.queries[j].region == group.queries[i].region
+                {
+                    j += 1;
+                }
+                let unit = &group.queries[i..j];
+                let placement = &forest.placements()[unit[0].plan.placement];
+                let arity = placement.def.arity();
+                let want = placement.def.id.0;
+                let mut aggs = unit
+                    .iter()
+                    .map(|sq| {
+                        RollupAggregator::new(
+                            catalog,
+                            &placement.def.projection,
+                            &queries[sq.index],
+                        )
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let mut touched = 0u64;
+                tree.search_with_readahead(&unit[0].region, READAHEAD_WINDOW, |view, point, state| {
+                    touched += 1;
+                    if view == want {
+                        for agg in aggs.iter_mut() {
+                            agg.accept(&point.coords()[..arity], state);
+                        }
+                    }
+                    true
+                })?;
+                // One leaf pass, charged once however many queries rode it.
+                env.stats().add_tuples(touched);
+                if recorder.is_enabled() {
+                    // Identical scans touch identical entries, so per-query
+                    // metric values match the sequential executor's.
+                    for _ in unit {
+                        recorder.observe("core.query.touched_entries", touched);
+                        recorder.add(&format!("core.query.by_view.v{want}"), 1);
+                    }
+                }
+                for (sq, agg) in unit.iter().zip(aggs) {
+                    let rows = agg.finish(placement.def.agg);
+                    *slots[sq.index].lock().unwrap_or_else(|p| p.into_inner()) = Some(rows);
+                }
+                i = j;
+            }
+            Ok(())
+        }));
+    }
+    run_jobs(env.parallelism().threads, jobs)?;
+    drop(phase);
+    let results = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .ok_or_else(|| CtError::invalid("batch execution left a query unanswered"))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(BatchOutput { results, sched })
 }
 
 #[cfg(test)]

@@ -1,0 +1,111 @@
+//! Batched query scheduling: group by tree, order by packing order.
+//!
+//! A Cubetree forest gives a batch scheduler two structural gifts. First,
+//! trees are independent files, so per-tree groups are the natural unit of
+//! concurrency — two workers never contend on one tree's pages. Second,
+//! each view's leaves occupy one contiguous run of pages in packed
+//! (`x_d..x_1` low-sort) order, so sorting a group's queries by the chosen
+//! view's run start and then by their region's origin in packed order turns
+//! a batch of random leaf accesses into a near-sequential sweep over each
+//! run — the same access-pattern argument the paper makes for packing
+//! itself (§2.3). Identical `(placement, region)` neighbors collapse into
+//! one *shared scan*: a single leaf pass feeding every query's aggregator.
+
+use crate::forest::CubetreeForest;
+use crate::query::{plan_forest_query, query_region, ForestPlan};
+use ct_common::{Catalog, Point, Rect, Result, SliceQuery};
+use std::collections::BTreeMap;
+
+/// Scheduling statistics for one executed batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedSummary {
+    /// Per-tree execution groups the batch was split into.
+    pub groups: u64,
+    /// Queries whose position changed relative to arrival order within
+    /// their group.
+    pub reordered: u64,
+    /// Queries answered by piggybacking on another query's leaf pass
+    /// (identical placement and region).
+    pub shared_scans: u64,
+}
+
+/// One planned query, scheduled into a group.
+pub(crate) struct SchedQuery {
+    /// Position in the caller's batch (results scatter back through it).
+    pub index: usize,
+    pub plan: ForestPlan,
+    pub region: Rect,
+}
+
+/// All queries routed to one tree, in sweep order.
+pub(crate) struct TreeGroup {
+    pub tree: usize,
+    pub queries: Vec<SchedQuery>,
+}
+
+/// Plans every query and partitions the batch into per-tree groups sorted
+/// in leaf-sweep order.
+///
+/// Queries are planned in arrival order, so a planning failure surfaces for
+/// the first offending query regardless of how the batch would have been
+/// executed — the same error the sequential loop reports.
+pub(crate) fn schedule(
+    forest: &CubetreeForest,
+    catalog: &Catalog,
+    queries: &[SliceQuery],
+) -> Result<(Vec<TreeGroup>, SchedSummary)> {
+    let mut per_tree: BTreeMap<usize, Vec<SchedQuery>> = BTreeMap::new();
+    for (index, q) in queries.iter().enumerate() {
+        let plan = plan_forest_query(forest, catalog, q)?;
+        let placement = &forest.placements()[plan.placement];
+        let region = query_region(&placement.def, forest.tree(placement.tree).dims(), q);
+        per_tree
+            .entry(placement.tree)
+            .or_default()
+            .push(SchedQuery { index, plan, region });
+    }
+
+    let mut summary = SchedSummary { groups: per_tree.len() as u64, ..Default::default() };
+    let mut groups = Vec::with_capacity(per_tree.len());
+    for (tree, mut members) in per_tree {
+        let dims = forest.tree(tree).dims();
+        // Sweep order: the chosen view's leaf-run start, then the region
+        // origin in packed order (the order leaves were laid out in), then
+        // arrival order as the deterministic tiebreak.
+        members.sort_by(|a, b| {
+            let ka = run_start(forest, a);
+            let kb = run_start(forest, b);
+            ka.cmp(&kb)
+                .then_with(|| {
+                    Point::new(a.region.lo(), dims).packed_cmp(&Point::new(b.region.lo(), dims))
+                })
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        // Reordered = positions where the sweep order disagrees with the
+        // group's arrival order.
+        let mut arrival: Vec<usize> = members.iter().map(|m| m.index).collect();
+        arrival.sort_unstable();
+        summary.reordered += members
+            .iter()
+            .zip(&arrival)
+            .filter(|(m, &orig)| m.index != orig)
+            .count() as u64;
+        // Shared scans = members that ride a preceding identical scan.
+        summary.shared_scans += members
+            .windows(2)
+            .filter(|w| w[0].plan.placement == w[1].plan.placement && w[0].region == w[1].region)
+            .count() as u64;
+        groups.push(TreeGroup { tree, queries: members });
+    }
+    Ok((groups, summary))
+}
+
+/// First leaf page of the run the planned placement stores its view in
+/// (`u64::MAX` when the view is empty, pushing it to the end of the sweep).
+fn run_start(forest: &CubetreeForest, sq: &SchedQuery) -> u64 {
+    let placement = &forest.placements()[sq.plan.placement];
+    forest
+        .tree(placement.tree)
+        .view_extent(placement.def.id.0)
+        .map_or(u64::MAX, |(_, ext)| ext.first_leaf)
+}

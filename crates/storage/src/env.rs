@@ -252,7 +252,25 @@ impl StorageEnv {
         next_seq: u64,
     ) -> Self {
         let stats = Arc::new(IoStats::new());
-        let pool = Arc::new(BufferPool::with_recorder(pool_pages, stats.clone(), recorder.clone()));
+        // A sequential environment keeps the historical single-shard clock
+        // (the `threads=1` determinism contract depends on it); a parallel
+        // one spreads frames over up to 8 shards so concurrent query workers
+        // do not serialize on one latch. Sharding is also gated on capacity:
+        // a small pool split many ways loses effective capacity to hash
+        // imbalance (the hottest shard evicts while others sit idle), which
+        // costs more than the latch it saves — keep >= 256 frames per shard.
+        let shards = if parallelism.is_parallel() {
+            parallelism.threads.min(8).min((pool_pages / 256).max(1))
+        } else {
+            1
+        };
+        let pool = Arc::new(BufferPool::with_shards(
+            pool_pages,
+            shards,
+            stats.clone(),
+            recorder.clone(),
+        ));
+        recorder.gauge_set("storage.buffer.shards", shards as f64);
         faults.attach_recorder(&recorder);
         let manifest_commits = recorder.counter("storage.manifest.commits");
         StorageEnv {

@@ -1,8 +1,16 @@
 //! Batch query execution and measurement.
+//!
+//! [`run_batch`] executes through the engine's batch interface when the
+//! engine's environment has a parallel worker budget — the Cubetree engine
+//! then schedules the batch (per-tree groups, packed-order sweeps, shared
+//! scans; see `cubetree::sched`) — and falls back to the historical
+//! query-at-a-time loop otherwise, keeping `threads = 1` measurements
+//! bit-identical to previous releases.
 
-use ct_common::query::{normalize_rows, QueryRow};
+use ct_common::query::QueryRow;
 use ct_common::{Result, SliceQuery};
 use cubetree::engine::RolapEngine;
+use cubetree::SchedSummary;
 use std::time::Instant;
 
 /// Measurements for one executed query.
@@ -23,11 +31,14 @@ pub struct QueryStat {
 /// counters whenever one accumulation path was touched and not the other).
 #[derive(Clone, Debug, Default)]
 pub struct BatchStats {
-    /// Per-query stats in execution order.
+    /// Per-query stats in batch order.
     pub queries: Vec<QueryStat>,
     /// An order-insensitive checksum over all result rows, for verifying
     /// that two engines returned identical answers.
     pub checksum: u64,
+    /// Scheduler statistics when the engine ran the batch through its
+    /// scheduler (`None` for the sequential path).
+    pub sched: Option<SchedSummary>,
 }
 
 impl BatchStats {
@@ -51,14 +62,31 @@ impl BatchStats {
         self.queries.iter().map(|q| q.sim_secs).sum()
     }
 
-    /// Mean throughput in queries/second over simulated time.
+    /// Mean throughput in queries/second over simulated time. An empty
+    /// batch has throughput 0 (not NaN); a non-empty batch that cost no
+    /// simulated time reports infinity.
     pub fn avg_throughput_sim(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
         let total = self.total_sim();
         if total > 0.0 {
             self.len() as f64 / total
         } else {
             f64::INFINITY
         }
+    }
+
+    /// The `p`-th percentile (0–100, nearest rank) of per-query wall-clock
+    /// seconds; 0.0 on an empty batch.
+    pub fn percentile_wall(&self, p: f64) -> f64 {
+        percentile(self.queries.iter().map(|q| q.wall_secs), p)
+    }
+
+    /// The `p`-th percentile (0–100, nearest rank) of per-query simulated
+    /// seconds; 0.0 on an empty batch.
+    pub fn percentile_sim(&self, p: f64) -> f64 {
+        percentile(self.queries.iter().map(|q| q.sim_secs), p)
     }
 
     /// `(min, max)` throughput in queries/second over windows of `window`
@@ -83,6 +111,18 @@ impl BatchStats {
     }
 }
 
+/// Nearest-rank percentile over `values`; defined (0.0) on an empty set so
+/// report code never divides by zero or panics on an empty batch.
+fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.max(1) - 1]
+}
+
 /// FNV-1a over the normalized result rows.
 fn checksum_rows(rows: &[QueryRow]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
@@ -102,6 +142,11 @@ fn checksum_rows(rows: &[QueryRow]) -> u64 {
 
 /// Executes `queries` against `engine`, collecting wall-clock and
 /// simulated-time statistics plus a result checksum.
+///
+/// With a parallel worker budget the whole batch goes through
+/// [`RolapEngine::query_batch`] once (the Cubetree engine schedules it) and
+/// the measured wall/simulated time is apportioned uniformly across the
+/// queries; at `threads = 1` the historical per-query loop runs unchanged.
 pub fn run_batch(engine: &dyn RolapEngine, queries: &[SliceQuery]) -> Result<BatchStats> {
     let mut stats = BatchStats::default();
     let model = *engine.env().cost_model();
@@ -110,18 +155,52 @@ pub fn run_batch(engine: &dyn RolapEngine, queries: &[SliceQuery]) -> Result<Bat
     let sim_hist = recorder.histogram("workload.query.sim_us");
     let rows_hist = recorder.histogram("workload.query.result_rows");
     let mut checksum = 0u64;
-    for q in queries {
+    // One sort scratch reused across the whole batch instead of a fresh
+    // clone + allocation per query.
+    let mut scratch: Vec<QueryRow> = Vec::new();
+    let eat = |rows: &[QueryRow], scratch: &mut Vec<QueryRow>| {
+        scratch.clear();
+        scratch.extend_from_slice(rows);
+        scratch.sort_by(|a, b| a.key.cmp(&b.key));
+        checksum_rows(scratch)
+    };
+    if engine.env().parallelism().is_parallel() && queries.len() > 1 {
         let before = engine.env().snapshot();
         let t0 = Instant::now();
-        let rows = engine.query(q)?;
+        let batch = engine.query_batch(queries)?;
         let wall = t0.elapsed().as_secs_f64();
         let delta = engine.env().snapshot().since(&before);
         let sim = delta.simulated_seconds(&model);
-        wall_hist.record((wall * 1e6) as u64);
-        sim_hist.record((sim * 1e6) as u64);
-        rows_hist.record(rows.len() as u64);
-        checksum = checksum.wrapping_add(checksum_rows(&normalize_rows(rows.clone())));
-        stats.queries.push(QueryStat { wall_secs: wall, sim_secs: sim, rows: rows.len() });
+        // Queries ran interleaved across workers; per-query timings are not
+        // individually observable, so apportion the batch cost uniformly.
+        let n = queries.len() as f64;
+        let (wall_q, sim_q) = (wall / n, sim / n);
+        for rows in &batch.results {
+            wall_hist.record((wall_q * 1e6) as u64);
+            sim_hist.record((sim_q * 1e6) as u64);
+            rows_hist.record(rows.len() as u64);
+            checksum = checksum.wrapping_add(eat(rows, &mut scratch));
+            stats.queries.push(QueryStat {
+                wall_secs: wall_q,
+                sim_secs: sim_q,
+                rows: rows.len(),
+            });
+        }
+        stats.sched = batch.sched;
+    } else {
+        for q in queries {
+            let before = engine.env().snapshot();
+            let t0 = Instant::now();
+            let rows = engine.query(q)?;
+            let wall = t0.elapsed().as_secs_f64();
+            let delta = engine.env().snapshot().since(&before);
+            let sim = delta.simulated_seconds(&model);
+            wall_hist.record((wall * 1e6) as u64);
+            sim_hist.record((sim * 1e6) as u64);
+            rows_hist.record(rows.len() as u64);
+            checksum = checksum.wrapping_add(eat(&rows, &mut scratch));
+            stats.queries.push(QueryStat { wall_secs: wall, sim_secs: sim, rows: rows.len() });
+        }
     }
     stats.checksum = checksum;
     Ok(stats)
@@ -132,6 +211,7 @@ mod tests {
     use super::*;
     use crate::genq::QueryGenerator;
     use crate::paper::paper_configs;
+    use ct_common::query::normalize_rows;
     use ct_tpcd::{TpcdConfig, TpcdWarehouse};
     use cubetree::engine::{ConventionalEngine, CubetreeEngine};
 
@@ -192,5 +272,55 @@ mod tests {
         let stats = BatchStats::default();
         assert!(stats.is_empty());
         assert_eq!(stats.throughput_window_sim(10), (0.0, 0.0));
+        assert_eq!(stats.avg_throughput_sim(), 0.0);
+        assert_eq!(stats.percentile_wall(50.0), 0.0);
+        assert_eq!(stats.percentile_sim(99.0), 0.0);
+        assert!(stats.sched.is_none());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut stats = BatchStats::default();
+        for secs in [4.0, 1.0, 3.0, 2.0] {
+            stats.queries.push(QueryStat { wall_secs: secs, sim_secs: secs * 10.0, rows: 0 });
+        }
+        assert_eq!(stats.percentile_wall(0.0), 1.0);
+        assert_eq!(stats.percentile_wall(25.0), 1.0);
+        assert_eq!(stats.percentile_wall(50.0), 2.0);
+        assert_eq!(stats.percentile_wall(75.0), 3.0);
+        assert_eq!(stats.percentile_wall(100.0), 4.0);
+        assert_eq!(stats.percentile_sim(100.0), 40.0);
+    }
+
+    /// The parallel dispatch path must produce the same checksum and row
+    /// counts as the sequential loop, and expose scheduler statistics.
+    #[test]
+    fn parallel_batch_matches_sequential_loop() {
+        let w = TpcdWarehouse::new(TpcdConfig { scale_factor: 0.002, seed: 7 });
+        let fact = w.generate_fact();
+        let setup = paper_configs(&w);
+        let mut seq = CubetreeEngine::new(w.catalog().clone(), setup.cubetree.clone()).unwrap();
+        seq.load(&fact).unwrap();
+        let mut par = CubetreeEngine::new(
+            w.catalog().clone(),
+            setup.cubetree.clone().with_threads(4),
+        )
+        .unwrap();
+        par.load(&fact).unwrap();
+
+        let a = w.attrs();
+        let mut generator =
+            QueryGenerator::new(w.catalog(), vec![a.partkey, a.suppkey, a.custkey], 9);
+        let queries = generator.batch(40);
+        let s1 = run_batch(&seq, &queries).unwrap();
+        let s2 = run_batch(&par, &queries).unwrap();
+        assert_eq!(s1.checksum, s2.checksum);
+        assert_eq!(
+            s1.queries.iter().map(|q| q.rows).collect::<Vec<_>>(),
+            s2.queries.iter().map(|q| q.rows).collect::<Vec<_>>(),
+        );
+        assert!(s1.sched.is_none(), "threads=1 must take the sequential path");
+        let sched = s2.sched.expect("parallel path must report scheduler stats");
+        assert!(sched.groups > 0);
     }
 }

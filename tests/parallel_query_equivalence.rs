@@ -1,0 +1,138 @@
+//! The batched, scheduled query engine must be a pure wall-clock
+//! optimization — never a semantic one:
+//!
+//! * at `threads = 1` the batch interface is bit-identical to the historical
+//!   per-query loop (same rows *and* same `IoSnapshot`), pinning the PR 1
+//!   determinism contract on the query path;
+//! * at `threads > 1` the scheduled batch returns the same per-query answer
+//!   sets and per-query result counters, and never reads more pages than the
+//!   sequential loop (shared scans + readahead must not regress I/O).
+
+use cubetrees_repro::common::query::normalize_rows;
+use cubetrees_repro::common::{AggFn, AttrId};
+use cubetrees_repro::workload::{run_batch, QueryGenerator};
+use cubetrees_repro::{
+    Catalog, CubetreeConfig, CubetreeEngine, Relation, RolapEngine, SliceQuery, ViewDef,
+};
+
+/// A three-attribute catalog plus a deterministic LCG-generated fact —
+/// the same shape `tests/parallel_equivalence.rs` pins the build with.
+fn setup(rows: usize, mut x: u64) -> (Catalog, Relation, Vec<ViewDef>) {
+    let mut cat = Catalog::new();
+    let p = cat.add_attr("p", 12);
+    let s = cat.add_attr("s", 5);
+    let c = cat.add_attr("c", 7);
+    let mut keys = Vec::new();
+    let mut measures = Vec::new();
+    for _ in 0..rows {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.extend_from_slice(&[x % 12 + 1, (x >> 17) % 5 + 1, (x >> 29) % 7 + 1]);
+        measures.push(((x >> 43) % 40) as i64 + 1);
+    }
+    let fact = Relation::from_fact(vec![p, s, c], keys, &measures);
+    let views = vec![
+        ViewDef::new(0, vec![p, s, c], AggFn::Sum),
+        ViewDef::new(1, vec![p, s], AggFn::Sum),
+        ViewDef::new(2, vec![s, c], AggFn::Sum),
+        ViewDef::new(3, vec![c], AggFn::Sum),
+        ViewDef::new(4, vec![], AggFn::Sum),
+    ];
+    (cat, fact, views)
+}
+
+fn loaded_engine(threads: usize, rows: usize) -> CubetreeEngine {
+    let (cat, fact, views) = setup(rows, 0xC0FFEE);
+    let config = CubetreeConfig::new(views).with_threads(threads);
+    let mut engine = CubetreeEngine::new(cat, config).unwrap();
+    engine.load(&fact).unwrap();
+    engine
+}
+
+/// A mixed batch over all the views, with duplicated and overlapping slices
+/// so the scheduler's shared-scan path is genuinely exercised.
+fn batch(catalog: &Catalog) -> Vec<SliceQuery> {
+    let all: Vec<AttrId> = (0..catalog.attr_count()).map(|i| AttrId(i as u16)).collect();
+    let mut queries = QueryGenerator::new(catalog, all, 42).batch(24);
+    // Exact duplicates (shared-scan units) and interleaved repeats (the
+    // packed-order sort must bring them back together).
+    let dup = queries[3].clone();
+    queries.push(dup.clone());
+    queries.insert(10, dup);
+    queries
+}
+
+#[test]
+fn threads_one_batch_path_is_bit_identical_to_the_query_loop() {
+    let a = loaded_engine(1, 2000);
+    let b = loaded_engine(1, 2000);
+    assert_eq!(a.env().snapshot(), b.env().snapshot(), "twin loads must match");
+
+    let queries = batch(a.catalog());
+    let loop_rows: Vec<_> =
+        queries.iter().map(|q| normalize_rows(a.query(q).unwrap())).collect();
+    let batch_rows = b.query_batch(&queries).unwrap();
+    assert!(batch_rows.sched.is_none(), "threads=1 must not schedule");
+    let batch_norm: Vec<_> =
+        batch_rows.results.into_iter().map(normalize_rows).collect();
+    // Row order *within* a query is unspecified (aggregator hash order);
+    // the normalized answers and the I/O accounting are the contract.
+    assert_eq!(loop_rows, batch_norm);
+    // Bit-identical I/O accounting, not just identical answers.
+    assert_eq!(a.env().snapshot(), b.env().snapshot());
+}
+
+#[test]
+fn threads_one_and_many_agree_on_answers_and_counters() {
+    let seq = loaded_engine(1, 2000);
+    let par = loaded_engine(4, 2000);
+
+    let queries = batch(seq.catalog());
+    let before_seq = seq.env().snapshot();
+    let before_par = par.env().snapshot();
+    let a = seq.query_batch(&queries).unwrap();
+    let b = par.query_batch(&queries).unwrap();
+    let io_seq = seq.env().snapshot().since(&before_seq);
+    let io_par = par.env().snapshot().since(&before_par);
+
+    assert_eq!(a.results.len(), b.results.len());
+    for (i, (ra, rb)) in a.results.iter().zip(&b.results).enumerate() {
+        // Identical per-query result counters...
+        assert_eq!(ra.len(), rb.len(), "query {i} row count diverged");
+        // ...and identical row sets (order within a query is unspecified).
+        assert_eq!(
+            normalize_rows(ra.clone()),
+            normalize_rows(rb.clone()),
+            "query {i} rows diverged"
+        );
+    }
+    let sched = b.sched.expect("parallel batch must be scheduled");
+    assert!(sched.groups >= 2, "multi-tree forest must yield several groups");
+    assert!(sched.shared_scans >= 1, "duplicate slices must share a scan");
+
+    // Scheduling + readahead must not regress physical I/O.
+    let pages_seq = io_seq.seq_reads + io_seq.rand_reads;
+    let pages_par = io_par.seq_reads + io_par.rand_reads;
+    assert!(
+        pages_par <= pages_seq,
+        "parallel batch read {pages_par} pages vs sequential {pages_seq}"
+    );
+    // Every entry the queries touch is still charged exactly once per
+    // shared-scan unit, so the parallel path touches no more tuples.
+    assert!(io_par.tuples <= io_seq.tuples);
+}
+
+#[test]
+fn run_batch_checksums_match_across_thread_counts() {
+    let seq = loaded_engine(1, 1200);
+    let par = loaded_engine(3, 1200);
+    let queries = batch(seq.catalog());
+    let s1 = run_batch(&seq, &queries).unwrap();
+    let s2 = run_batch(&par, &queries).unwrap();
+    assert_eq!(s1.checksum, s2.checksum);
+    assert_eq!(
+        s1.queries.iter().map(|q| q.rows).collect::<Vec<_>>(),
+        s2.queries.iter().map(|q| q.rows).collect::<Vec<_>>(),
+    );
+    assert!(s1.sched.is_none());
+    assert!(s2.sched.is_some());
+}
