@@ -10,6 +10,10 @@ cargo test -q --offline --test crash_recovery --test fault_matrix
 # Query-path determinism gate: the scheduled batch engine must answer
 # identically to the sequential loop at every thread count.
 cargo test -q --offline --test parallel_query_equivalence
+# MVCC gate: N reader threads × M refresh cycles; every pinned batch must
+# match exactly one committed generation, and retired generations must be
+# reclaimed once the last pin drops.
+cargo test -q --offline --test mvcc_concurrency
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Error-path gate: ct-storage and ct-rtree deny clippy::{unwrap,expect}_used
 # at the crate level (test code exempt); check their lib targets explicitly.
@@ -23,3 +27,7 @@ cargo run -q --release --offline -p ct-bench --bin fig12_queries -- \
 # than the sequential one; BENCH_queries.json records wall/I-O/sched stats.
 cargo run -q --release --offline -p ct-bench --bin bench_queries -- \
   --sf 0.05 --queries 200 --threads 4 --json BENCH_queries.json > /dev/null
+# Reader-during-update smoke: queries run concurrently with merge-pack
+# refreshes; exits non-zero on any snapshot-isolation violation.
+cargo run -q --release --offline -p ct-bench --bin bench_mixed -- \
+  --sf 0.005 --queries 8 --threads 2 > /dev/null

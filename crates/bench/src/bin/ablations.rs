@@ -129,7 +129,8 @@ fn main() {
             "SelectMapping forest shape",
             &["tree", "dims", "views", "entries", "internal pages"],
         );
-        for (i, t) in forest.trees().iter().enumerate() {
+        let pin = forest.pin();
+        for (i, t) in pin.trees().iter().enumerate() {
             let st = t.stats();
             let views: Vec<String> =
                 t.views().iter().map(|(v, _)| format!("V{}", v.view)).collect();

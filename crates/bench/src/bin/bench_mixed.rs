@@ -1,0 +1,78 @@
+//! Reader-during-update smoke: drives the generation-MVCC serving path end
+//! to end. A fleet of reader threads continuously runs a probe batch while
+//! the main thread commits successive merge-pack refreshes; every reader
+//! batch must answer exactly like the generation it pinned, and every
+//! committed generation must be observed live. Exits non-zero (panics) on
+//! any snapshot-isolation violation, so CI can gate on it.
+
+use ct_bench::experiments::estimate_data_bytes;
+use ct_bench::report::Report;
+use ct_bench::BenchArgs;
+use ct_tpcd::{TpcdConfig, TpcdWarehouse};
+use ct_workload::{paper_configs, run_mixed_refresh, QueryGenerator};
+use cubetree::engine::{CubetreeEngine, RolapEngine};
+use std::time::Instant;
+
+const READERS: usize = 3;
+const CYCLES: usize = 3;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: args.seed });
+    let fact = w.generate_fact();
+    let setup = paper_configs(&w);
+
+    let mut cfg = setup.cubetree.clone().with_threads(args.threads.max(2));
+    cfg.pool_pages = args.pool_pages(estimate_data_bytes(fact.len() as u64));
+    let mut engine =
+        CubetreeEngine::new(w.catalog().clone(), cfg).expect("cubetree engine");
+    engine.load(&fact).expect("cubetree load");
+
+    let a = w.attrs();
+    let mut generator = QueryGenerator::new(
+        w.catalog(),
+        vec![a.partkey, a.suppkey, a.custkey],
+        args.seed,
+    );
+    let probes = generator.batch(args.queries.clamp(2, 16));
+
+    // Refresh increments: disjoint slices of a second generated fact.
+    let extra =
+        TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: args.seed + 1 })
+            .generate_fact();
+    let slice = (extra.len() / CYCLES).max(1);
+    let deltas: Vec<_> = (0..CYCLES)
+        .map(|i| {
+            let lo = i * slice;
+            let hi = (lo + slice).min(extra.len());
+            let keys: Vec<u64> = (lo..hi).flat_map(|r| extra.key(r).to_vec()).collect();
+            let measures: Vec<i64> = (lo..hi).map(|r| extra.states[r].sum).collect();
+            ct_cube::Relation::from_fact(extra.attrs.clone(), keys, &measures)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let stats = run_mixed_refresh(&engine, &probes, &deltas, READERS)
+        .expect("mixed read/refresh run");
+    let wall = t0.elapsed().as_secs_f64();
+
+    assert_eq!(stats.mismatches, 0, "a reader batch saw a torn generation");
+    assert_eq!(stats.cycles, CYCLES, "every refresh cycle must commit");
+    assert_eq!(
+        stats.generations_seen,
+        (0..=CYCLES as u64).collect::<Vec<_>>(),
+        "every committed generation must be observed by readers"
+    );
+
+    let mut report =
+        Report::new("bench_mixed", "reader-during-update serving smoke", args.sf);
+    report.meta("fact rows", fact.len());
+    report.meta("probes per batch", probes.len());
+    report.meta("readers", READERS);
+    report.meta("refresh cycles", stats.cycles);
+    report.meta("reader batches", stats.reads);
+    report.meta("generations observed", format!("{:?}", stats.generations_seen));
+    report.meta("mismatches", stats.mismatches);
+    report.meta("wall secs", format!("{wall:.3}"));
+    report.emit(args.json.as_deref());
+}

@@ -63,7 +63,8 @@ fn main() {
     // Forest shape for the record.
     if let Some(forest) = engines.cubetree.forest() {
         let s = report.section("cubetree forest", &["tree", "dims", "entries", "leaf pages", "height"]);
-        for (i, t) in forest.trees().iter().enumerate() {
+        let pin = forest.pin();
+        for (i, t) in pin.trees().iter().enumerate() {
             let st = t.stats();
             s.row(vec![
                 format!("R{}", i + 1),

@@ -2,7 +2,9 @@
 
 use crate::engine::{BatchResult, RolapEngine};
 use crate::forest::CubetreeForest;
-use crate::query::{execute_forest_query, execute_forest_query_batch};
+use crate::query::{
+    execute_forest_query, execute_forest_query_batch, execute_generation_query,
+};
 use ct_common::query::QueryRow;
 use ct_common::{AttrId, Catalog, CostModel, CtError, Result, SliceQuery, ViewDef, ViewId};
 use ct_cube::Relation;
@@ -109,6 +111,18 @@ impl CubetreeEngine {
     fn forest_ref(&self) -> Result<&CubetreeForest> {
         self.forest.as_ref().ok_or_else(|| CtError::invalid("engine not loaded yet"))
     }
+
+    /// Bulk-incremental refresh through a shared reference: merge-packs the
+    /// next forest generation, commits it atomically and publishes it, while
+    /// concurrent readers keep answering from their pinned generation. This
+    /// is what makes a mixed read/refresh workload possible; the
+    /// [`RolapEngine::update`] entry point delegates here.
+    pub fn refresh(&self, delta: &Relation) -> Result<()> {
+        let forest = self.forest_ref()?;
+        let _phase = self.env.phase("update");
+        forest.update(&self.env, &self.catalog, delta)?;
+        self.env.pool().flush_all()
+    }
 }
 
 impl RolapEngine for CubetreeEngine {
@@ -144,18 +158,22 @@ impl RolapEngine for CubetreeEngine {
                 execute_forest_query_batch(self.forest_ref()?, &self.env, &self.catalog, queries)?;
             Ok(BatchResult { results: out.results, sched: Some(out.sched) })
         } else {
-            let results =
-                queries.iter().map(|q| self.query(q)).collect::<Result<Vec<_>>>()?;
+            // One pin for the whole loop: the batch answers from a single
+            // generation even if a refresh commits mid-way. Each call still
+            // opens its own "query" root phase, so the I/O accounting stays
+            // bit-identical to the historical per-query loop.
+            let forest = self.forest_ref()?;
+            let pin = forest.pin();
+            let results = queries
+                .iter()
+                .map(|q| execute_generation_query(&pin, &self.env, &self.catalog, q))
+                .collect::<Result<Vec<_>>>()?;
             Ok(BatchResult { results, sched: None })
         }
     }
 
     fn update(&mut self, delta: &Relation) -> Result<()> {
-        let forest =
-            self.forest.as_mut().ok_or_else(|| CtError::invalid("engine not loaded yet"))?;
-        let _phase = self.env.phase("update");
-        forest.update(&self.env, &self.catalog, delta)?;
-        self.env.pool().flush_all()
+        self.refresh(delta)
     }
 
     fn storage_bytes(&self) -> u64 {

@@ -25,6 +25,20 @@
 //! for every worker count (`threads = 1` reproduces the sequential pipeline
 //! bit for bit). The view-computation DAG stays sequential: its steps feed
 //! one another, and its inner sorts already parallelize run generation.
+//!
+//! ## Generations: concurrent reads during refresh
+//!
+//! The forest is versioned. Each committed file set — the packed trees plus
+//! the placements they serve — lives in an [`Arc`]'d [`Generation`]
+//! snapshot. Readers *pin* the current generation ([`CubetreeForest::pin`])
+//! and run entirely against that immutable snapshot; [`CubetreeForest::update`]
+//! merge-packs the next generation into fresh files on the side, commits it
+//! with one atomic manifest rename (the flip point — exactly the PR 3 crash
+//! commit), publishes the new `Arc` through the swap cell and *retires* the
+//! old generation. A retired generation's files are doomed and unlinked when
+//! the last pinned reader drops its `Arc` — deferred reclamation built on
+//! the pool's doomed-`DiskFile` machinery, so in-flight queries finish on
+//! the bytes they started with and never observe a half-swapped forest.
 
 use crate::jobs::{run_jobs, Job};
 use crate::select_mapping::{select_mapping, MappingPlan};
@@ -33,6 +47,8 @@ use ct_cube::compute::packed_sort_cols;
 use ct_cube::{compute_view, plan_computation, PlanSource, Relation, SizeEstimator};
 use ct_rtree::{merge_pack, LeafFormat, PackedRTree, TreeBuilder, VecStream, ViewInfo};
 use ct_storage::{BufferPool, FileId, StorageEnv};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Frames each per-tree job's private pool gets: an even share of the
@@ -85,14 +101,208 @@ pub struct PlacedView {
     pub tree: usize,
 }
 
+/// Shared bookkeeping behind the `storage.generation.*` gauges: how many
+/// generations are alive (current + retired-awaiting-reclaim), how many
+/// readers hold pins right now, and how many bytes of retired files wait on
+/// their last pin. The atomics are authoritative; the gauges mirror them so
+/// a disabled recorder costs a couple of relaxed stores.
+struct GenTracker {
+    live: AtomicI64,
+    pins: AtomicI64,
+    deferred: AtomicI64,
+    g_live: ct_obs::Gauge,
+    g_pins: ct_obs::Gauge,
+    g_deferred: ct_obs::Gauge,
+    flips: ct_obs::Counter,
+}
+
+impl GenTracker {
+    fn new(recorder: &ct_obs::Recorder) -> Arc<GenTracker> {
+        Arc::new(GenTracker {
+            live: AtomicI64::new(0),
+            pins: AtomicI64::new(0),
+            deferred: AtomicI64::new(0),
+            g_live: recorder.gauge("storage.generation.live"),
+            g_pins: recorder.gauge("storage.generation.pinned_readers"),
+            g_deferred: recorder.gauge("storage.generation.deferred_bytes"),
+            flips: recorder.counter("storage.generation.flips"),
+        })
+    }
+
+    fn gen_created(&self) {
+        let v = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.g_live.set(v as f64);
+    }
+
+    fn gen_dropped(&self) {
+        let v = self.live.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.g_live.set(v as f64);
+    }
+
+    fn pinned(&self) {
+        let v = self.pins.fetch_add(1, Ordering::Relaxed) + 1;
+        self.g_pins.set(v as f64);
+    }
+
+    fn unpinned(&self) {
+        let v = self.pins.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.g_pins.set(v as f64);
+    }
+
+    fn defer_bytes(&self, bytes: i64) {
+        let v = self.deferred.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.g_deferred.set(v as f64);
+    }
+}
+
+/// One committed generation of the forest: the packed trees, the file
+/// handles backing them and the placements they serve, frozen at commit
+/// time. Obtained through [`CubetreeForest::pin`]; immutable and safe to
+/// read from any thread while an update builds its successor.
+pub struct Generation {
+    number: u64,
+    placements: Arc<Vec<PlacedView>>,
+    trees: Vec<PackedRTree>,
+    fids: Vec<FileId>,
+    pool: Arc<BufferPool>,
+    tracker: Arc<GenTracker>,
+    /// Set exactly once, by the update that replaced this generation. A
+    /// retired generation's files are removed when the last `Arc` drops.
+    retired: AtomicBool,
+    /// Bytes this generation's files held at retirement (for the
+    /// `deferred_bytes` gauge; reversed on drop).
+    retired_bytes: AtomicU64,
+}
+
+impl Generation {
+    fn new(
+        number: u64,
+        placements: Arc<Vec<PlacedView>>,
+        trees: Vec<PackedRTree>,
+        fids: Vec<FileId>,
+        pool: Arc<BufferPool>,
+        tracker: Arc<GenTracker>,
+    ) -> Arc<Generation> {
+        tracker.gen_created();
+        Arc::new(Generation {
+            number,
+            placements,
+            trees,
+            fids,
+            pool,
+            tracker,
+            retired: AtomicBool::new(false),
+            retired_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// The generation number (bumped by every committed update).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// All placements (primaries and replicas) this generation serves.
+    pub fn placements(&self) -> &[PlacedView] {
+        &self.placements
+    }
+
+    /// The trees of this generation's forest.
+    pub fn trees(&self) -> &[PackedRTree] {
+        &self.trees
+    }
+
+    /// One tree.
+    pub fn tree(&self, i: usize) -> &PackedRTree {
+        &self.trees[i]
+    }
+
+    /// Entries stored for a placement.
+    pub fn entries_of(&self, view: ViewId) -> u64 {
+        self.placements
+            .iter()
+            .find(|p| p.def.id == view)
+            .and_then(|p| self.trees[p.tree].view_extent(view.0))
+            .map_or(0, |(_, ext)| ext.entries)
+    }
+
+    /// Total allocated bytes across this generation's files.
+    pub fn storage_bytes(&self) -> u64 {
+        self.fids.iter().map(|&f| self.pool.file(f).map_or(0, |x| x.size_bytes())).sum()
+    }
+
+    /// The on-disk paths of this generation's files (for reclamation tests:
+    /// a retired generation's paths disappear when its last pin drops).
+    pub fn file_paths(&self) -> Vec<std::path::PathBuf> {
+        self.fids
+            .iter()
+            .filter_map(|&f| self.pool.file(f).ok().map(|x| x.path().to_path_buf()))
+            .collect()
+    }
+
+    /// Marks this generation as replaced. Called once, by the update that
+    /// committed its successor, after the manifest flip.
+    fn retire(&self) {
+        self.retired_bytes.store(self.storage_bytes(), Ordering::Relaxed);
+        self.tracker.defer_bytes(self.retired_bytes.load(Ordering::Relaxed) as i64);
+        self.retired.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for Generation {
+    fn drop(&mut self) {
+        self.tracker.gen_dropped();
+        if self.retired.load(Ordering::Acquire) {
+            // Last reference to a replaced generation: evict its frames and
+            // unlink its files (deferred through doom if a raw handle is
+            // still around). Errors cannot surface from drop; the files are
+            // orphans to recovery either way.
+            for &fid in &self.fids {
+                let _ = self.pool.remove_file(fid);
+            }
+            self.tracker.defer_bytes(-(self.retired_bytes.load(Ordering::Relaxed) as i64));
+        }
+    }
+}
+
+/// A pinned reader's handle on one [`Generation`]. Holding it keeps the
+/// generation's trees and files alive — and readable — even if updates
+/// retire the generation meanwhile; reclamation happens when the last pin
+/// (and the forest's own reference) is gone. Dereferences to the pinned
+/// [`Generation`].
+pub struct ReaderPin {
+    gen: Arc<Generation>,
+    tracker: Arc<GenTracker>,
+}
+
+impl std::ops::Deref for ReaderPin {
+    type Target = Generation;
+
+    fn deref(&self) -> &Generation {
+        &self.gen
+    }
+}
+
+impl Drop for ReaderPin {
+    fn drop(&mut self) {
+        self.tracker.unpinned();
+    }
+}
+
 /// A forest of packed R-trees materializing a set of ROLAP views.
+///
+/// All mutation goes through interior state: readers [`CubetreeForest::pin`]
+/// the current [`Generation`] and updates swap in a successor, so queries
+/// and refresh run concurrently on a shared reference.
 pub struct CubetreeForest {
     format: LeafFormat,
     plan: MappingPlan,
-    trees: Vec<PackedRTree>,
-    fids: Vec<FileId>,
-    placements: Vec<PlacedView>,
-    generation: u64,
+    placements: Arc<Vec<PlacedView>>,
+    /// The swap cell: the current generation, replaced atomically (under
+    /// the lock) at each update's publish point.
+    current: Mutex<Arc<Generation>>,
+    /// Serializes writers; readers never take it.
+    writer: Mutex<()>,
+    tracker: Arc<GenTracker>,
 }
 
 impl CubetreeForest {
@@ -230,7 +440,24 @@ impl CubetreeForest {
         }
         env.commit_manifest(entries)?;
         drop(pack_phase);
-        Ok(CubetreeForest { format, plan, trees, fids, placements, generation: 0 })
+        let placements = Arc::new(placements);
+        let tracker = GenTracker::new(env.recorder());
+        let generation = Generation::new(
+            0,
+            placements.clone(),
+            trees,
+            fids,
+            env.pool().clone(),
+            tracker.clone(),
+        );
+        Ok(CubetreeForest {
+            format,
+            plan,
+            placements,
+            current: Mutex::new(generation),
+            writer: Mutex::new(()),
+            tracker,
+        })
     }
 
     /// Reopens a forest from the environment's recovered manifest (after
@@ -266,10 +493,27 @@ impl CubetreeForest {
             }
             trees.push(PackedRTree::open(env.pool().clone(), fid)?);
         }
-        // Resume generations past every committed one so new update files
-        // never reuse a live generation's name.
-        let generation = env.manifest().seq;
-        Ok(CubetreeForest { format, plan, trees, fids, placements, generation })
+        // Resume generation numbers past every committed one so new update
+        // files never reuse a live generation's name.
+        let number = env.manifest().seq;
+        let placements = Arc::new(placements);
+        let tracker = GenTracker::new(env.recorder());
+        let generation = Generation::new(
+            number,
+            placements.clone(),
+            trees,
+            fids,
+            env.pool().clone(),
+            tracker.clone(),
+        );
+        Ok(CubetreeForest {
+            format,
+            plan,
+            placements,
+            current: Mutex::new(generation),
+            writer: Mutex::new(()),
+            tracker,
+        })
     }
 
     /// The mapping plan (for reports and tests).
@@ -277,44 +521,56 @@ impl CubetreeForest {
         &self.plan
     }
 
-    /// All placements (primaries and replicas).
+    /// All placements (primaries and replicas). Stable across generations —
+    /// updates change tree contents, never the forest shape.
     pub fn placements(&self) -> &[PlacedView] {
         &self.placements
     }
 
-    /// The trees of the forest.
-    pub fn trees(&self) -> &[PackedRTree] {
-        &self.trees
+    /// Pins the current generation for reading. The returned guard keeps the
+    /// snapshot's trees and files alive until it drops; an update committing
+    /// meanwhile does not disturb it. Pin once per logical operation (a
+    /// query, a batch) so every lookup inside it sees one generation.
+    pub fn pin(&self) -> ReaderPin {
+        let gen = self.current.lock().clone();
+        self.tracker.pinned();
+        ReaderPin { gen, tracker: self.tracker.clone() }
     }
 
-    /// One tree.
-    pub fn tree(&self, i: usize) -> &PackedRTree {
-        &self.trees[i]
+    /// The current generation number (bumped by every committed update).
+    pub fn generation_number(&self) -> u64 {
+        self.current.lock().number
     }
 
-    /// Entries stored for a placement.
+    /// Entries stored for a placement, in the current generation.
     pub fn entries_of(&self, view: ViewId) -> u64 {
-        self.placements
-            .iter()
-            .find(|p| p.def.id == view)
-            .and_then(|p| self.trees[p.tree].view_extent(view.0))
-            .map_or(0, |(_, ext)| ext.entries)
+        self.pin().entries_of(view)
     }
 
-    /// Total allocated bytes across the forest's files.
+    /// Total allocated bytes across the current generation's files.
     pub fn storage_bytes(&self, env: &StorageEnv) -> u64 {
-        self.fids.iter().map(|&f| env.file_bytes(f)).sum()
+        let _ = env; // historical signature; the generation carries its pool
+        self.pin().storage_bytes()
     }
 
     /// Bulk-incremental refresh (paper Figure 15): computes each placement's
     /// delta from the fact increment, then merge-packs every tree into a new
-    /// packed file with strictly sequential I/O. Old files are removed.
+    /// packed file with strictly sequential I/O.
+    ///
+    /// Takes `&self`: readers keep answering from their pinned generation
+    /// for the whole refresh. The sequence is pin base → merge-pack new
+    /// files on the worker pool → commit the manifest (the atomic flip) →
+    /// publish the new generation → retire the base. Retired files are
+    /// unlinked when the last pin drops. Concurrent writers serialize on an
+    /// internal lock.
     pub fn update(
-        &mut self,
+        &self,
         env: &StorageEnv,
         catalog: &Catalog,
         delta_fact: &Relation,
     ) -> Result<()> {
+        let _writer = self.writer.lock();
+        let base = self.current.lock().clone();
         if delta_fact.has_retractions() {
             if let Some(p) = self.placements.iter().find(|p| !p.def.agg.deletion_safe()) {
                 return Err(CtError::unsupported(format!(
@@ -326,7 +582,7 @@ impl CubetreeForest {
                 )));
             }
         }
-        self.generation += 1;
+        let next_number = base.number + 1;
         let merge_phase = env.phase("update/merge");
         // Flush the shared pool so each job's private pool reads the current
         // on-disk bytes of the tree it is refreshing.
@@ -339,12 +595,11 @@ impl CubetreeForest {
         let mut jobs: Vec<Job<'_>> = Vec::with_capacity(tree_count);
         let mut job_pools: Vec<(Arc<BufferPool>, FileId)> = Vec::with_capacity(tree_count);
         for (t, spec) in specs.iter().enumerate() {
-            let new_fid =
-                env.create_file(&format!("cubetree-{t}-gen{}", self.generation))?;
+            let new_fid = env.create_file(&format!("cubetree-{t}-gen{next_number}"))?;
             new_fids.push(new_fid);
-            let old_fid = self.fids[t];
+            let old_fid = base.fids[t];
             let infos: Vec<ViewInfo> =
-                self.trees[t].views().iter().map(|(info, _)| *info).collect();
+                base.trees[t].views().iter().map(|(info, _)| *info).collect();
             let defs: Vec<ViewDef> = spec
                 .views
                 .iter()
@@ -391,12 +646,23 @@ impl CubetreeForest {
         run_jobs(env.parallelism().threads, jobs)?;
         drop(merge_phase);
         let _swap_phase = env.phase("update/swap");
+        env.faults().crash_point("update/pre_commit")?;
+        // Assemble the next generation in memory first: adopt each job
+        // pool's warm frames into the shared pool (so it stays as warm as a
+        // sequential merge would have left it) and open the packed trees
+        // over them. No page writes happen past this point.
+        let mut new_trees = Vec::with_capacity(tree_count);
+        for (t, &new_fid) in new_fids.iter().enumerate() {
+            let (job_pool, job_new_fid) = &job_pools[t];
+            env.pool().absorb_clean(job_pool, *job_new_fid, new_fid)?;
+            new_trees.push(PackedRTree::open(env.pool().clone(), new_fid)?);
+        }
         // Durability commit: sync the new generation's files, then publish
         // them with one atomic manifest rename. Before the rename lands the
         // old file set is live (a crash recovers to pre-update state);
         // after it the new one is (a crash recovers to post-update state) —
-        // never anything in between.
-        env.faults().crash_point("update/pre_commit")?;
+        // never anything in between. This rename is also the MVCC flip
+        // point: the in-memory publish below follows it immediately.
         let mut entries = Vec::with_capacity(tree_count);
         for (t, &new_fid) in new_fids.iter().enumerate() {
             env.pool().file(new_fid)?.sync()?;
@@ -404,18 +670,27 @@ impl CubetreeForest {
         }
         env.commit_manifest(entries)?;
         env.faults().crash_point("update/post_commit")?;
-        // Swap the freshly packed generation in, in tree order, adopting each
-        // job pool's warm frames so the shared pool stays as warm as a
-        // sequential merge would have left it. The old files' deletion is
-        // deferred past the job pools still holding handles to them.
-        for (t, &new_fid) in new_fids.iter().enumerate() {
-            let old_fid = self.fids[t];
-            let (job_pool, job_new_fid) = &job_pools[t];
-            env.pool().absorb_clean(job_pool, *job_new_fid, new_fid)?;
-            self.trees[t] = PackedRTree::open(env.pool().clone(), new_fid)?;
-            self.fids[t] = new_fid;
-            env.remove_file(old_fid)?;
-        }
+        // Publish: swap the new generation into the cell. Readers pinning
+        // from now on see the new trees; existing pins keep the base.
+        let next = Generation::new(
+            next_number,
+            self.placements.clone(),
+            new_trees,
+            new_fids,
+            env.pool().clone(),
+            self.tracker.clone(),
+        );
+        *self.current.lock() = next;
+        self.tracker.flips.inc();
+        // A crash here (after the rename, before the old generation's doom)
+        // leaves the committed manifest plus the prior generation's files on
+        // disk; recovery reconciles strictly from the manifest and deletes
+        // the unreferenced survivors.
+        env.faults().crash_point("update/before_reclaim")?;
+        // Retire the base: its files are reclaimed when the last reference
+        // (ours, unless readers still pin it) goes away.
+        base.retire();
+        drop(base);
         env.faults().crash_point("update/after_swap")?;
         Ok(())
     }
@@ -459,7 +734,7 @@ mod tests {
         assert_eq!(forest.placements().len(), 4);
         // Table-5 shape: one 3-dim tree holding everything (arities 0..3
         // are all distinct).
-        assert_eq!(forest.trees().len(), 1);
+        assert_eq!(forest.pin().trees().len(), 1);
         assert_eq!(forest.plan().tree_count(), 1);
         // Entry counts: none view has exactly one entry.
         assert_eq!(forest.entries_of(ViewId(3)), 1);
@@ -476,7 +751,7 @@ mod tests {
             CubetreeForest::build(&env, &cat, &fact, &views, &replicas, LeafFormat::ZeroElided)
                 .unwrap();
         assert_eq!(forest.placements().len(), 6);
-        assert_eq!(forest.trees().len(), 3, "three arity-3 placements need three trees");
+        assert_eq!(forest.pin().trees().len(), 3, "three arity-3 placements need three trees");
         // All replica placements answer for the logical top view.
         let logical_top =
             forest.placements().iter().filter(|pl| pl.logical == ViewId(0)).count();
@@ -518,7 +793,7 @@ mod tests {
     #[test]
     fn update_grows_entry_counts() {
         let (env, cat, fact, views, [p, s, c]) = setup();
-        let mut forest =
+        let forest =
             CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::ZeroElided)
                 .unwrap();
         let before = forest.entries_of(ViewId(0));
@@ -528,5 +803,64 @@ mod tests {
         let after = forest.entries_of(ViewId(0));
         assert!(after == before || after == before + 1);
         assert_eq!(forest.entries_of(ViewId(3)), 1, "none view stays scalar");
+    }
+
+    #[test]
+    fn pinned_generation_survives_an_update_and_is_reclaimed_after() {
+        let (env, cat, fact, views, [p, s, c]) = setup();
+        let forest =
+            CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::ZeroElided)
+                .unwrap();
+        let pin = forest.pin();
+        assert_eq!(pin.number(), 0);
+        let old_entries = pin.entries_of(ViewId(0));
+        let old_paths = pin.file_paths();
+        assert!(old_paths.iter().all(|p| p.exists()));
+
+        let delta = Relation::from_fact(vec![p, s, c], vec![10, 4, 6], &[5]);
+        forest.update(&env, &cat, &delta).unwrap();
+        assert_eq!(forest.generation_number(), 1);
+        // The pinned snapshot still answers from the old bytes...
+        assert_eq!(pin.entries_of(ViewId(0)), old_entries);
+        assert!(old_paths.iter().all(|p| p.exists()), "pins defer reclamation");
+        // ...and a fresh pin sees the new generation.
+        assert_eq!(forest.pin().number(), 1);
+        drop(pin);
+        assert!(
+            old_paths.iter().all(|p| !p.exists()),
+            "last pin drop unlinks the retired generation"
+        );
+    }
+
+    #[test]
+    fn generation_gauges_track_pins_and_reclamation() {
+        let (_env, cat, fact, views, [p, s, c]) = setup();
+        let recorder = ct_obs::Recorder::enabled();
+        let env = StorageEnv::with_config_full(
+            "forest-gauges",
+            256,
+            ct_common::CostModel::default(),
+            ct_storage::Parallelism::default(),
+            recorder.clone(),
+        )
+        .unwrap();
+        let forest =
+            CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::ZeroElided)
+                .unwrap();
+        let gauge = |n: &str| recorder.gauge(n).get();
+        assert_eq!(gauge("storage.generation.live"), 1.0);
+        assert_eq!(gauge("storage.generation.pinned_readers"), 0.0);
+        let pin = forest.pin();
+        assert_eq!(gauge("storage.generation.pinned_readers"), 1.0);
+        let delta = Relation::from_fact(vec![p, s, c], vec![10, 4, 6], &[5]);
+        forest.update(&env, &cat, &delta).unwrap();
+        // Old generation alive behind the pin, with its bytes deferred.
+        assert_eq!(gauge("storage.generation.live"), 2.0);
+        assert!(gauge("storage.generation.deferred_bytes") > 0.0);
+        assert_eq!(recorder.counter("storage.generation.flips").get(), 1);
+        drop(pin);
+        assert_eq!(gauge("storage.generation.pinned_readers"), 0.0);
+        assert_eq!(gauge("storage.generation.live"), 1.0);
+        assert_eq!(gauge("storage.generation.deferred_bytes"), 0.0);
     }
 }

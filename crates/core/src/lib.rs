@@ -58,6 +58,6 @@ pub mod sched;
 pub mod select_mapping;
 
 pub use engine::{ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, RolapEngine};
-pub use forest::CubetreeForest;
+pub use forest::{CubetreeForest, Generation, ReaderPin};
 pub use sched::SchedSummary;
 pub use select_mapping::{select_mapping, MappingPlan, TreeSpec};

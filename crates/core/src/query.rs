@@ -9,7 +9,7 @@
 //! whose physical sort order has the longest prefix of sliced attributes —
 //! that is exactly what the paper's multi-sort-order replicas are for.
 
-use crate::forest::CubetreeForest;
+use crate::forest::{CubetreeForest, Generation};
 use crate::jobs::{run_jobs, Job};
 use crate::sched::{schedule, SchedSummary};
 use ct_common::query::QueryRow;
@@ -147,22 +147,35 @@ pub struct ForestPlan {
     pub sort_prefix: usize,
 }
 
-/// Chooses the cheapest placement able to answer `q`.
-///
-/// # Errors
-/// [`CtError::Unsupported`] if no placement derives the query's node.
+/// Chooses the cheapest placement able to answer `q`, planning against the
+/// current generation. Convenience wrapper over
+/// [`plan_generation_query`] for callers that do not hold a pin.
 pub fn plan_forest_query(
     forest: &CubetreeForest,
     catalog: &Catalog,
     q: &SliceQuery,
 ) -> Result<ForestPlan> {
+    plan_generation_query(&forest.pin(), catalog, q)
+}
+
+/// Chooses the cheapest placement able to answer `q` within one pinned
+/// generation (entry counts, and therefore cost estimates, are
+/// per-generation state).
+///
+/// # Errors
+/// [`CtError::Unsupported`] if no placement derives the query's node.
+pub fn plan_generation_query(
+    gen: &Generation,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<ForestPlan> {
     let node = q.node();
     let mut best: Option<ForestPlan> = None;
-    for (i, p) in forest.placements().iter().enumerate() {
+    for (i, p) in gen.placements().iter().enumerate() {
         if !catalog.derivable_from(&node, &p.def.projection) {
             continue;
         }
-        let entries = forest.entries_of(p.def.id) as f64;
+        let entries = gen.entries_of(p.def.id) as f64;
         // Selectivity from predicates on attributes the view stores
         // directly; a bounded range contributes its span fraction.
         let mut selectivity = 1.0f64;
@@ -231,10 +244,22 @@ pub(crate) fn query_region(def: &ViewDef, dims: usize, q: &SliceQuery) -> Rect {
     Rect::new(&lo, &hi)
 }
 
-/// Plans and executes `q` against the forest. `env` is charged the CPU
-/// tuple cost of the entries the search touches.
+/// Plans and executes `q` against the forest's current generation. Pins the
+/// generation for the duration of the query; `env` is charged the CPU tuple
+/// cost of the entries the search touches.
 pub fn execute_forest_query(
     forest: &CubetreeForest,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<Vec<QueryRow>> {
+    execute_generation_query(&forest.pin(), env, catalog, q)
+}
+
+/// Plans and executes `q` against one pinned generation. The snapshot's
+/// trees and files stay readable even if an update commits meanwhile.
+pub fn execute_generation_query(
+    gen: &Generation,
     env: &ct_storage::StorageEnv,
     catalog: &Catalog,
     q: &SliceQuery,
@@ -242,9 +267,9 @@ pub fn execute_forest_query(
     // Root phase: successive queries accumulate under one "query" span whose
     // I/O delta reconciles against the global counters.
     let _phase = env.phase("query");
-    let plan = plan_forest_query(forest, catalog, q)?;
-    let placement = &forest.placements()[plan.placement];
-    let tree = forest.tree(placement.tree);
+    let plan = plan_generation_query(gen, catalog, q)?;
+    let placement = &gen.placements()[plan.placement];
+    let tree = gen.tree(placement.tree);
     let region = query_region(&placement.def, tree.dims(), q);
     let arity = placement.def.arity();
     let mut agg = RollupAggregator::new(catalog, &placement.def.projection, q)?;
@@ -298,9 +323,12 @@ pub fn execute_forest_query_batch(
 ) -> Result<BatchOutput> {
     // One root "query" phase around the whole batch, opened and dropped on
     // the calling thread so root phases never overlap and the I/O delta
-    // reconciles against the global counters.
+    // reconciles against the global counters. One pin around the whole
+    // batch, too: every query in it answers from the same generation.
     let phase = env.phase("query");
-    let (groups, sched) = schedule(forest, catalog, queries)?;
+    let pin = forest.pin();
+    let gen: &Generation = &pin;
+    let (groups, sched) = schedule(gen, catalog, queries)?;
     let recorder = env.recorder().clone();
     if recorder.is_enabled() {
         recorder.add("query.sched.batches", 1);
@@ -318,7 +346,7 @@ pub fn execute_forest_query_batch(
             // Wall-only span: concurrent groups cannot split the shared I/O
             // counters, so per-group spans time only.
             let _span = recorder.span(&format!("query/tree{}", group.tree));
-            let tree = forest.tree(group.tree);
+            let tree = gen.tree(group.tree);
             let mut i = 0;
             while i < group.queries.len() {
                 // Extend the shared-scan unit over identical scans.
@@ -330,7 +358,7 @@ pub fn execute_forest_query_batch(
                     j += 1;
                 }
                 let unit = &group.queries[i..j];
-                let placement = &forest.placements()[unit[0].plan.placement];
+                let placement = &gen.placements()[unit[0].plan.placement];
                 let arity = placement.def.arity();
                 let want = placement.def.id.0;
                 let mut aggs = unit
@@ -561,7 +589,7 @@ mod tests {
 
     #[test]
     fn update_then_query_reflects_delta() {
-        let (env, cat, mut forest, [p, s, c]) = setup();
+        let (env, cat, forest, [p, s, c]) = setup();
         let fact = fact_of(&env);
         // Delta: 50 rows over the same key space.
         let mut keys = Vec::new();

@@ -11,8 +11,8 @@
 //! itself (§2.3). Identical `(placement, region)` neighbors collapse into
 //! one *shared scan*: a single leaf pass feeding every query's aggregator.
 
-use crate::forest::CubetreeForest;
-use crate::query::{plan_forest_query, query_region, ForestPlan};
+use crate::forest::Generation;
+use crate::query::{plan_generation_query, query_region, ForestPlan};
 use ct_common::{Catalog, Point, Rect, Result, SliceQuery};
 use std::collections::BTreeMap;
 
@@ -50,15 +50,15 @@ pub(crate) struct TreeGroup {
 /// the first offending query regardless of how the batch would have been
 /// executed — the same error the sequential loop reports.
 pub(crate) fn schedule(
-    forest: &CubetreeForest,
+    gen: &Generation,
     catalog: &Catalog,
     queries: &[SliceQuery],
 ) -> Result<(Vec<TreeGroup>, SchedSummary)> {
     let mut per_tree: BTreeMap<usize, Vec<SchedQuery>> = BTreeMap::new();
     for (index, q) in queries.iter().enumerate() {
-        let plan = plan_forest_query(forest, catalog, q)?;
-        let placement = &forest.placements()[plan.placement];
-        let region = query_region(&placement.def, forest.tree(placement.tree).dims(), q);
+        let plan = plan_generation_query(gen, catalog, q)?;
+        let placement = &gen.placements()[plan.placement];
+        let region = query_region(&placement.def, gen.tree(placement.tree).dims(), q);
         per_tree
             .entry(placement.tree)
             .or_default()
@@ -68,13 +68,13 @@ pub(crate) fn schedule(
     let mut summary = SchedSummary { groups: per_tree.len() as u64, ..Default::default() };
     let mut groups = Vec::with_capacity(per_tree.len());
     for (tree, mut members) in per_tree {
-        let dims = forest.tree(tree).dims();
+        let dims = gen.tree(tree).dims();
         // Sweep order: the chosen view's leaf-run start, then the region
         // origin in packed order (the order leaves were laid out in), then
         // arrival order as the deterministic tiebreak.
         members.sort_by(|a, b| {
-            let ka = run_start(forest, a);
-            let kb = run_start(forest, b);
+            let ka = run_start(gen, a);
+            let kb = run_start(gen, b);
             ka.cmp(&kb)
                 .then_with(|| {
                     Point::new(a.region.lo(), dims).packed_cmp(&Point::new(b.region.lo(), dims))
@@ -102,10 +102,9 @@ pub(crate) fn schedule(
 
 /// First leaf page of the run the planned placement stores its view in
 /// (`u64::MAX` when the view is empty, pushing it to the end of the sweep).
-fn run_start(forest: &CubetreeForest, sq: &SchedQuery) -> u64 {
-    let placement = &forest.placements()[sq.plan.placement];
-    forest
-        .tree(placement.tree)
+fn run_start(gen: &Generation, sq: &SchedQuery) -> u64 {
+    let placement = &gen.placements()[sq.plan.placement];
+    gen.tree(placement.tree)
         .view_extent(placement.def.id.0)
         .map_or(u64::MAX, |(_, ext)| ext.first_leaf)
 }

@@ -279,7 +279,7 @@ impl BufferPool {
         }
         let mut installed = 0usize;
         let mut i = 0;
-        while i < missing.len() {
+        'runs: while i < missing.len() {
             let mut j = i + 1;
             while j < missing.len() && missing[j] == missing[j - 1] + 1 {
                 j += 1;
@@ -292,6 +292,12 @@ impl BufferPool {
             for (k, page) in pages.into_iter().enumerate() {
                 let pid = run_start + k as u64;
                 let mut shard = self.shards[self.shard_of(fid.0, pid)].lock();
+                if file.is_doomed() {
+                    // The file was removed between our batched read and this
+                    // install; installing now would plant a frame the removal
+                    // sweep can no longer see.
+                    break 'runs;
+                }
                 if shard.map.contains_key(&(fid.0, pid)) {
                     continue; // raced in by a demand read; keep that copy
                 }
@@ -328,11 +334,30 @@ impl BufferPool {
     /// Discards all frames of `fid` (dirty or not) and deletes the file.
     ///
     /// If another component still holds an `Arc<DiskFile>` to it (a raw sort
-    /// run mid-merge, a job pool mid-swap), deletion is *deferred*: the file
-    /// is doomed — every further read or write through any handle fails
-    /// loudly — and the unlink happens when the last handle drops, instead
-    /// of letting a stale handle silently write to an unlinked path.
+    /// run mid-merge, a job pool mid-swap, a pinned reader's generation),
+    /// deletion is *deferred*: the file is doomed — every further read or
+    /// write through any handle fails loudly — and the unlink happens when
+    /// the last handle drops, instead of letting a stale handle silently
+    /// write to an unlinked path.
+    ///
+    /// Ordering matters: the handle is taken out of the file table and
+    /// doomed *before* the frame sweep. Every install path (demand fault,
+    /// `new_page`, prefetch) resolves the handle first, so once the slot is
+    /// empty no new frame for this id can slip in behind the sweep — the
+    /// stale-frame hazard where a later registration reusing the id would
+    /// resurrect a dead file's cached pages.
     pub fn remove_file(&self, fid: FileId) -> Result<()> {
+        let file = {
+            let mut files = self.files.lock();
+            files
+                .get_mut(fid.0 as usize)
+                .and_then(|f| f.take())
+                .ok_or_else(|| CtError::invalid("file already removed"))?
+        };
+        // Doom before sweeping: an install racing on an already-resolved
+        // handle either fails its read or observes the flag and backs off,
+        // so the sweep below is exhaustive.
+        file.doom();
         for shard in &self.shards {
             let mut shard = shard.lock();
             for i in 0..shard.frames.len() {
@@ -341,19 +366,17 @@ impl BufferPool {
                     shard.map.remove(&key);
                     shard.frames[i].occupied = false;
                     shard.frames[i].dirty = false;
-                    shard.frames[i].prefetched = false;
+                    if shard.frames[i].prefetched {
+                        // Discarded before its first consumption: balance the
+                        // batched read charged at prefetch time as wasted,
+                        // exactly like a clock eviction would.
+                        shard.frames[i].prefetched = false;
+                        self.prefetch_wasted.inc();
+                    }
                 }
             }
         }
-        let file = {
-            let mut files = self.files.lock();
-            files
-                .get_mut(fid.0 as usize)
-                .and_then(|f| f.take())
-                .ok_or_else(|| CtError::invalid("file already removed"))?
-        };
         if Arc::strong_count(&file) > 1 {
-            file.doom();
             Ok(())
         } else {
             file.delete()
@@ -384,7 +407,16 @@ impl BufferPool {
                 let key = (to_fid.0, f.key.1);
                 let mut dst = self.shards[self.shard_of(key.0, key.1)].lock();
                 let idx = match dst.map.get(&key) {
-                    Some(&idx) => idx,
+                    Some(&idx) => {
+                        // Overwriting a resident prefetched copy retires it
+                        // without a first consumption: balance its batched
+                        // read as wasted or the prefetch books never close.
+                        if dst.frames[idx].prefetched {
+                            dst.frames[idx].prefetched = false;
+                            self.prefetch_wasted.inc();
+                        }
+                        idx
+                    }
                     None => {
                         let idx = self.find_victim(&mut dst)?;
                         dst.map.insert(key, idx);
@@ -895,5 +927,113 @@ mod shard_tests {
     fn single_shard_pool_reports_one_shard() {
         let (_d, _s, pool, _f) = sharded(8, 1);
         assert_eq!(pool.shard_count(), 1);
+    }
+
+    fn prefetch_counts(r: &Recorder) -> (u64, u64, u64) {
+        (
+            r.counter("storage.buffer.prefetch.pages").get(),
+            r.counter("storage.buffer.prefetch.used").get(),
+            r.counter("storage.buffer.prefetch.wasted").get(),
+        )
+    }
+
+    #[test]
+    fn prefetch_books_balance_under_memory_pressure_and_removal() {
+        // Every installed prefetch must eventually be accounted used or
+        // wasted — including frames evicted before first consumption and
+        // frames discarded by `remove_file` — or the Σ phase-io
+        // reconciliation drifts under memory pressure.
+        let dir = TempDir::new("buffer-prefetch-balance").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let writer = BufferPool::new(16, stats.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let wfid = writer.register(file.clone());
+        for i in 0..12u64 {
+            let pid = writer.new_page(wfid).unwrap();
+            writer.with_page_mut(wfid, pid, |p| p.put_u64(0, i)).unwrap();
+        }
+        writer.flush_all().unwrap();
+
+        let recorder = Recorder::enabled();
+        let pool = BufferPool::with_shards(4, 1, stats.clone(), recorder.clone());
+        let fid = pool.register(file);
+        // 12 prefetched pages through a 4-frame pool: most are evicted by
+        // later installs before anything consumes them.
+        assert_eq!(pool.prefetch_run(fid, PageId(0), 12).unwrap(), 12);
+        let (pages, used, wasted) = prefetch_counts(&recorder);
+        assert_eq!(pages, 12);
+        // Four frames are still resident-and-cold; everything else must
+        // already be accounted as wasted by the install-time evictions.
+        assert_eq!(pages, used + wasted + 4);
+        // Consume everything, resident tail first (those are first uses),
+        // then the evicted head (demand faults that push out any remaining
+        // cold frames).
+        for pid in (0..12u64).rev() {
+            pool.with_page(fid, PageId(pid), |_| ()).unwrap();
+        }
+        let (pages, used, wasted) = prefetch_counts(&recorder);
+        assert_eq!(pages, used + wasted);
+        assert!(used > 0, "the resident tail was consumed");
+        // Refill with cold prefetched frames, then drop the file under them.
+        let refetched = pool.prefetch_run(fid, PageId(4), 4).unwrap();
+        assert!(refetched > 0, "consumed pages were evicted and re-fetchable");
+        pool.remove_file(fid).unwrap();
+        let (pages, used, wasted) = prefetch_counts(&recorder);
+        assert_eq!(pages, used + wasted, "removal must waste un-consumed prefetches");
+    }
+
+    #[test]
+    fn absorb_overwriting_a_prefetched_frame_counts_it_wasted() {
+        let dir = TempDir::new("buffer-absorb-prefetch").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let recorder = Recorder::enabled();
+        let main = BufferPool::with_shards(8, 1, stats.clone(), recorder.clone());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let main_fid = main.register(file.clone());
+        let job = BufferPool::new(8, stats.clone());
+        let job_fid = job.register(file);
+        for i in 0..3u64 {
+            let pid = job.new_page(job_fid).unwrap();
+            job.with_page_mut(job_fid, pid, |p| p.put_u64(0, i)).unwrap();
+        }
+        job.flush_all().unwrap();
+        // The main pool prefetches the same pages, then absorbs the job's
+        // warm copies over them before any consumption.
+        assert_eq!(main.prefetch_run(main_fid, PageId(0), 3).unwrap(), 3);
+        main.absorb_clean(&job, job_fid, main_fid).unwrap();
+        let (pages, used, wasted) = prefetch_counts(&recorder);
+        assert_eq!((pages, used, wasted), (3, 0, 3), "absorb retired the prefetched copies");
+        // A subsequent consumption is an ordinary buffer hit on the
+        // absorbed (referenced) frame, not a prefetch first-use.
+        let before = stats.snapshot();
+        main.with_page(main_fid, PageId(0), |_| ()).unwrap();
+        assert_eq!(stats.snapshot().since(&before).buffer_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_install_backs_off_once_the_file_is_doomed() {
+        // A prefetch whose batched read succeeded before removal must not
+        // plant frames after the removal sweep ran: with the handle doomed,
+        // installation stops (deterministic stand-in for the concurrent
+        // interleaving).
+        let dir = TempDir::new("buffer-prefetch-doomed").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let pool = BufferPool::with_shards(8, 1, stats.clone(), Recorder::disabled());
+        let file = Arc::new(DiskFile::create(dir.path().join("t.db"), stats.clone()).unwrap());
+        let fid = pool.register(file.clone());
+        for _ in 0..4 {
+            let pid = pool.new_page(fid).unwrap();
+            pool.with_page_mut(fid, pid, |p| p.put_u64(0, 1)).unwrap();
+        }
+        pool.flush_all().unwrap();
+        pool.remove_file(fid).unwrap();
+        // The id is gone from the table, so the pool path errors cleanly...
+        assert!(pool.prefetch_run(fid, PageId(0), 4).is_err());
+        // ...and every shard is verifiably empty of the dead file's frames.
+        for shard in &pool.shards {
+            let shard = shard.lock();
+            assert!(shard.map.keys().all(|k| k.0 != fid.0));
+        }
+        drop(file);
     }
 }

@@ -594,6 +594,60 @@ mod tests {
     }
 
     #[test]
+    fn recovered_ids_never_resurrect_prior_frames() {
+        // FileId values restart from zero in every environment, so after a
+        // recovery the same numeric id names a *different* file. Frames must
+        // follow the file, never the id: the first touch of a re-attached
+        // component is a physical read, not a hit on anything the old id
+        // cached.
+        let host = TempDir::new("env-id-reuse").unwrap();
+        let dir = host.path().join("db");
+        let open = || {
+            StorageEnv::open_at(
+                &dir,
+                16,
+                CostModel::default(),
+                Parallelism::default(),
+                Recorder::disabled(),
+                FaultPlan::none(),
+            )
+        };
+        let first_id;
+        {
+            let (env, _) = open().unwrap();
+            let fid = env.create_file("alpha").unwrap();
+            first_id = fid;
+            let pid = env.pool().new_page(fid).unwrap();
+            env.pool().with_page_mut(fid, pid, |p| p.put_u64(0, 0xA11CE)).unwrap();
+            env.pool().flush_all().unwrap();
+            let entry = env.manifest_entry("alpha", fid).unwrap();
+            env.commit_manifest(vec![entry]).unwrap();
+        }
+        let (env, _) = open().unwrap();
+        // A brand-new file claims the same numeric id first.
+        let beta = env.create_file("beta").unwrap();
+        assert_eq!(beta, first_id, "the recovered pool hands out the same id");
+        let bpid = env.pool().new_page(beta).unwrap();
+        env.pool().with_page_mut(beta, bpid, |p| p.put_u64(0, 0xB07)).unwrap();
+        // Re-attaching alpha under a different id reads its own bytes from
+        // disk, never a frame keyed by the reused id.
+        let alpha = env.open_file("alpha").unwrap();
+        assert_ne!(alpha, beta);
+        let before = env.snapshot();
+        let v = env
+            .pool()
+            .with_page(alpha, crate::page::PageId(0), |p| p.get_u64(0))
+            .unwrap();
+        assert_eq!(v, 0xA11CE);
+        let d = env.snapshot().since(&before);
+        assert_eq!(d.buffer_hits, 0, "first touch after recovery must hit disk");
+        assert_eq!(d.seq_reads + d.rand_reads, 1);
+        env.pool().with_page(beta, bpid, |p| assert_eq!(p.get_u64(0), 0xB07)).unwrap();
+        drop(env);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn parallelism_defaults_and_clamps() {
         assert_eq!(Parallelism::default().threads, 1);
         assert!(!Parallelism::default().is_parallel());

@@ -278,7 +278,10 @@ impl DiskFile {
     /// Marks the file as logically deleted: every further read/write/sync
     /// through *any* clone of this handle fails, and the file is unlinked
     /// when the last `Arc<DiskFile>` drops. Used by the pool when a file is
-    /// removed while other components still hold handles to it.
+    /// removed while other components still hold handles to it — which is
+    /// also the reclamation half of generation MVCC: a replaced forest
+    /// generation dooms its files, and readers still pinning that
+    /// generation keep the bytes alive until their last handle drops.
     pub fn doom(&self) {
         self.doomed.store(true, Ordering::Release);
     }

@@ -18,4 +18,4 @@ pub mod runner;
 
 pub use genq::QueryGenerator;
 pub use paper::{paper_configs, PaperSetup};
-pub use runner::{run_batch, BatchStats};
+pub use runner::{run_batch, run_mixed_refresh, BatchStats, MixedStats};

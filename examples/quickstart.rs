@@ -45,7 +45,7 @@ fn main() {
     println!(
         "loaded {} fact rows into {} Cubetrees ({} bytes)",
         fact.len(),
-        cubetrees.forest().unwrap().trees().len(),
+        cubetrees.forest().unwrap().plan().tree_count(),
         cubetrees.storage_bytes()
     );
 

@@ -10,7 +10,7 @@
 //! surviving file set must be bit-identical to one of the two snapshots.
 
 use cubetrees_repro::common::{AggFn, CostModel, CtError, SliceQuery};
-use cubetrees_repro::core::query::execute_forest_query;
+use cubetrees_repro::core::query::{execute_forest_query, execute_generation_query};
 use cubetrees_repro::core::CubetreeForest;
 use cubetrees_repro::obs::Recorder;
 use cubetrees_repro::rtree::LeafFormat;
@@ -72,11 +72,30 @@ fn copy_dir(src: &Path, dst: &Path) {
     }
 }
 
+/// After recovery, every data file in the directory must be named by the
+/// manifest: a crash between the manifest rename and the old generation's
+/// reclamation leaves committed MANIFEST plus prior-generation survivors,
+/// and `open_at` must have deleted the latter.
+fn assert_no_orphans(dir: &Path) {
+    let m = Manifest::load(dir).expect("manifest readable").expect("manifest present");
+    let named: std::collections::BTreeSet<&str> =
+        m.entries.iter().map(|e| e.file.as_str()).collect();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name.ends_with(".pages") || name.ends_with(".run") {
+            assert!(named.contains(name.as_str()), "recovery left orphan file {name}");
+        }
+    }
+}
+
 struct Fixture {
     _host: TempDir,
     base: std::path::PathBuf,
     pre: BTreeMap<String, Vec<u8>>,
     post: BTreeMap<String, Vec<u8>>,
+    /// The scalar-rollup answer over the pre-update generation; what any
+    /// reader pinned before the update must keep seeing.
+    pre_scalar: f64,
     cat: Catalog,
     delta: Relation,
     views: Vec<ViewDef>,
@@ -90,12 +109,17 @@ impl Fixture {
         let base = host.path().join("base");
 
         // Build the pre-update generation at `base`.
-        {
+        let pre_scalar = {
             let (env, _) = open_env(&base, FaultPlan::none());
-            CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::Compressed)
-                .expect("build");
+            let forest =
+                CubetreeForest::build(&env, &cat, &fact, &views, &[], LeafFormat::Compressed)
+                    .expect("build");
+            let rows =
+                execute_forest_query(&forest, &env, &cat, &SliceQuery::new(vec![], vec![]))
+                    .expect("pre-update scalar");
             env.pool().flush_all().unwrap();
-        }
+            rows[0].agg
+        };
         let pre = live_bytes(&base);
 
         // Run the update cleanly once to learn the post-update bytes.
@@ -103,7 +127,7 @@ impl Fixture {
         copy_dir(&base, &post_dir);
         {
             let (env, _) = open_env(&post_dir, FaultPlan::none());
-            let mut forest =
+            let forest =
                 CubetreeForest::open(&env, &views, &[], LeafFormat::Compressed).expect("reopen");
             forest.update(&env, &cat, &delta).expect("clean update");
             env.pool().flush_all().unwrap();
@@ -112,7 +136,7 @@ impl Fixture {
         assert_ne!(pre, post, "the update must actually change the stored bytes");
 
         let scratch = host.path().join("work");
-        Fixture { _host: host, base, pre, post, cat, delta, views, scratch }
+        Fixture { _host: host, base, pre, post, pre_scalar, cat, delta, views, scratch }
     }
 
     /// Replays the update at a fresh copy of `base` with `arm` applied to an
@@ -123,14 +147,32 @@ impl Fixture {
         let plan = FaultPlan::new();
         let outcome = {
             let (env, _) = open_env(&self.scratch, plan.clone());
-            let mut forest =
+            let forest =
                 CubetreeForest::open(&env, &self.views, &[], LeafFormat::Compressed)
                     .expect("reopen pristine copy");
+            // A reader in flight across the crash: pinned before the fault
+            // arms, finished after the update died (or committed).
+            let pin = forest.pin();
             arm(&plan);
             let r = forest.update(&env, &self.cat, &self.delta);
             if r.is_ok() {
                 env.pool().flush_all().unwrap();
             }
+            // However the update ended, the pinned reader completes on its
+            // generation — pre-update answer, no panic. Its files cannot
+            // have been reclaimed while the pin is held.
+            let rows = execute_generation_query(
+                &pin,
+                &env,
+                &self.cat,
+                &SliceQuery::new(vec![], vec![]),
+            )
+            .expect("pinned reader finishes on its generation");
+            assert_eq!(rows.len(), 1);
+            assert_eq!(
+                rows[0].agg, self.pre_scalar,
+                "pinned reader must keep seeing pre-update answers"
+            );
             r
         };
         // Simulated restart: recover the directory and verify the reopened
@@ -147,6 +189,9 @@ impl Fixture {
         .expect("recovered forest answers queries");
         assert_eq!(rows.len(), 1, "scalar rollup yields one row");
         drop(env);
+        // Recovery reconciles strictly from the manifest: no unreferenced
+        // data files may survive it, whatever the crash left behind.
+        assert_no_orphans(&self.scratch);
         (outcome, live_bytes(&self.scratch))
     }
 
@@ -174,12 +219,47 @@ fn crash_points_recover_to_pre_or_post_state() {
 
     // After the rename the commit is durable: recovery must surface the
     // post-update generation even though the process died mid-swap.
-    for point in ["update/post_commit", "update/after_swap"] {
+    // `before_reclaim` is the nastiest of these: the manifest is committed
+    // but the prior generation's files were never doomed in-process, so
+    // recovery itself must delete them as unreferenced survivors.
+    for point in ["update/post_commit", "update/before_reclaim", "update/after_swap"] {
         let (outcome, got) = fx.injected_update(|p| p.arm_crash_point(point));
         let err = outcome.expect_err("armed crash point must abort the update");
         assert!(err.is_injected(), "{point}: {err}");
         fx.assert_post(&got, point);
     }
+}
+
+/// The flip commits and the old generation retires, but a pinned reader
+/// holds the old files on disk until it drops — even when the updater was
+/// killed right after the swap.
+#[test]
+fn pinned_reader_defers_reclamation_past_a_committed_swap() {
+    let fx = Fixture::new("reclaim");
+    let _ = std::fs::remove_dir_all(&fx.scratch);
+    copy_dir(&fx.base, &fx.scratch);
+    let plan = FaultPlan::new();
+    let (env, _) = open_env(&fx.scratch, plan.clone());
+    let forest =
+        CubetreeForest::open(&env, &fx.views, &[], LeafFormat::Compressed).unwrap();
+    let pin = forest.pin();
+    let old_paths = pin.file_paths();
+    assert!(!old_paths.is_empty() && old_paths.iter().all(|p| p.exists()));
+    plan.arm_crash_point("update/after_swap");
+    let err = forest.update(&env, &fx.cat, &fx.delta).expect_err("armed crash point");
+    assert!(err.is_injected(), "{err}");
+    // The manifest flipped and the base generation retired; the pin is all
+    // that keeps its files alive — and it still answers from them.
+    assert!(old_paths.iter().all(|p| p.exists()), "pins defer reclamation");
+    let rows =
+        execute_generation_query(&pin, &env, &fx.cat, &SliceQuery::new(vec![], vec![]))
+            .unwrap();
+    assert_eq!(rows[0].agg, fx.pre_scalar);
+    drop(pin);
+    assert!(
+        old_paths.iter().all(|p| !p.exists()),
+        "last pin drop unlinks the retired generation"
+    );
 }
 
 #[test]

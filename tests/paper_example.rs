@@ -188,7 +188,7 @@ fn figures_6_and_7_nine_view_mapping() {
         LeafFormat::Compressed,
     )
     .unwrap();
-    assert_eq!(forest.trees().len(), 3);
+    assert_eq!(forest.pin().trees().len(), 3);
 
     // Q: total quantity for brand 2, grouped by month — answerable from V3.
     let q = SliceQuery::new(vec![month], vec![(brand, 2)]);

@@ -50,6 +50,7 @@ fn loaded_engine(threads: usize, rows: usize) -> CubetreeEngine {
 fn tree_bytes(engine: &CubetreeEngine) -> Vec<Vec<u8>> {
     let forest = engine.forest().expect("loaded");
     forest
+        .pin()
         .trees()
         .iter()
         .map(|t| {
@@ -66,8 +67,8 @@ fn threads_one_and_many_agree_on_bytes_and_io() {
 
     let forest_seq = seq.forest().unwrap();
     let forest_par = par.forest().unwrap();
-    assert!(forest_seq.trees().len() >= 2, "setup must yield a multi-tree forest");
-    assert_eq!(forest_seq.trees().len(), forest_par.trees().len());
+    assert!(forest_seq.plan().tree_count() >= 2, "setup must yield a multi-tree forest");
+    assert_eq!(forest_seq.plan().tree_count(), forest_par.plan().tree_count());
 
     // Byte-identical packed trees after the initial load...
     assert_eq!(tree_bytes(&seq), tree_bytes(&par));
@@ -106,7 +107,8 @@ proptest! {
         let mut engine = CubetreeEngine::new(cat, config).unwrap();
         engine.load(&fact).unwrap();
         let forest = engine.forest().unwrap();
-        for tree in forest.trees() {
+        let pin = forest.pin();
+        for tree in pin.trees() {
             let mut scanner = tree.scanner();
             let mut seen: Vec<u32> = Vec::new();
             while let Some((view, _, _)) = scanner.next_entry().unwrap() {
