@@ -14,6 +14,10 @@ cargo test -q --offline --test parallel_query_equivalence
 # match exactly one committed generation, and retired generations must be
 # reclaimed once the last pin drops.
 cargo test -q --offline --test mvcc_concurrency
+# HTTP serving gate: validation 4xx-not-panic, loopback answers bit-identical
+# to sequential query(), refresh-during-queries snapshot consistency, 429
+# overload with Retry-After.
+cargo test -q --offline --test serving_http
 cargo clippy --offline --workspace --all-targets -- -D warnings
 # Error-path gate: ct-storage and ct-rtree deny clippy::{unwrap,expect}_used
 # at the crate level (test code exempt); check their lib targets explicitly.
@@ -31,3 +35,12 @@ cargo run -q --release --offline -p ct-bench --bin bench_queries -- \
 # refreshes; exits non-zero on any snapshot-isolation violation.
 cargo run -q --release --offline -p ct-bench --bin bench_mixed -- \
   --sf 0.005 --queries 8 --threads 2 > /dev/null
+# Serving smoke: ephemeral-port server, one JSON query, one CSV query, one
+# refresh, clean shutdown.
+cargo run -q --release --offline --example serving_smoke > /dev/null
+# Serving baseline: real server over loopback at two client counts; exits
+# non-zero if batched dispatch reads more pages per query than per-request
+# sequential dispatch allows (results/bench_serving_baseline.json), or any
+# query errors. BENCH_serving.json records qps and tail latencies.
+cargo run -q --release --offline -p ct-bench --bin bench_serving -- \
+  --sf 0.01 --queries 160 --threads 4 --json BENCH_serving.json > /dev/null

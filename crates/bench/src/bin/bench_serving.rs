@@ -1,0 +1,195 @@
+//! End-to-end serving benchmark: a real ct-server on loopback, driven by
+//! the ct-workload load generator at several client counts, comparing
+//! admission-controlled batched dispatch against per-request sequential
+//! dispatch (`max_batch = 1`).
+//!
+//! Reports qps and p50/p99/p999 latency per setting, plus the page economy
+//! of batching: at high concurrency the batch former hands the scheduler
+//! whole batches, which share leaf passes and sweep trees in packed order,
+//! so physical pages read *per query* must not exceed sequential dispatch
+//! times the checked-in baseline ratio (`results/bench_serving_baseline.json`).
+//! Exits non-zero on regression. Default output `BENCH_serving.json`.
+
+use ct_bench::experiments::estimate_data_bytes;
+use ct_bench::report::{fmt_ratio, Report};
+use ct_bench::BenchArgs;
+use ct_server::json::Json;
+use ct_server::{CtServer, ServerConfig};
+use ct_tpcd::{TpcdConfig, TpcdWarehouse};
+use ct_workload::serving::{LoopMode, ServingConfig, ServingStats};
+use ct_workload::{paper_configs, run_serving};
+use cubetree::engine::{CubetreeEngine, RolapEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Setting {
+    label: &'static str,
+    clients: usize,
+    max_batch: usize,
+}
+
+struct Outcome {
+    setting: Setting,
+    stats: ServingStats,
+    pages: u64,
+    engine: Arc<CubetreeEngine>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // The batch scheduler only engages in a parallel environment; floor at
+    // 2 workers so "batched" actually batches.
+    let threads = args.threads.max(2);
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: args.seed });
+    let fact = w.generate_fact();
+    let setup = paper_configs(&w);
+    let pool = args.pool_pages(estimate_data_bytes(fact.len() as u64));
+    let a = w.attrs();
+    let base = vec![a.partkey, a.suppkey, a.custkey];
+    let total_requests = args.queries.max(16);
+
+    // ≥ 2 client-count settings; the two 8-client runs replay the same
+    // per-client query streams, so their page counts compare like for like.
+    let settings = [
+        Setting { label: "sequential dispatch", clients: 8, max_batch: 1 },
+        Setting { label: "batched dispatch", clients: 8, max_batch: 32 },
+        Setting { label: "batched dispatch", clients: 1, max_batch: 32 },
+    ];
+
+    let mut outcomes = Vec::new();
+    for setting in settings {
+        // A fresh engine per setting: every run starts from a cold buffer
+        // pool, so page counts measure dispatch policy, not cache warmth.
+        let mut cfg = setup.cubetree.clone().with_threads(threads);
+        cfg.pool_pages = pool;
+        cfg.recorder = ct_obs::Recorder::enabled();
+        let mut engine =
+            CubetreeEngine::new(w.catalog().clone(), cfg).expect("cubetree engine");
+        engine.load(&fact).expect("cubetree load");
+        let engine = Arc::new(engine);
+
+        let mut server_cfg = ServerConfig::default();
+        server_cfg.admission.max_batch = setting.max_batch;
+        server_cfg.admission.max_delay = Duration::from_millis(2);
+        let server =
+            CtServer::start(Arc::clone(&engine), server_cfg).expect("start server");
+
+        let load = ServingConfig {
+            clients: setting.clients,
+            requests_per_client: total_requests / setting.clients,
+            mode: LoopMode::Closed,
+            seed: args.seed,
+            ..ServingConfig::default()
+        };
+        let before = engine.env().snapshot();
+        let stats = run_serving(&server.addr().to_string(), w.catalog(), base.clone(), &load)
+            .expect("serving run");
+        let io = engine.env().snapshot().since(&before);
+        server.join();
+        outcomes.push(Outcome {
+            setting,
+            stats,
+            pages: io.seq_reads + io.rand_reads,
+            engine,
+        });
+    }
+
+    let baseline_ratio = read_baseline_ratio("results/bench_serving_baseline.json");
+
+    let mut report = Report::new(
+        "bench_serving",
+        "HTTP serving layer: admission-controlled batching vs per-request dispatch",
+        args.sf,
+    );
+    report.meta("fact rows", fact.len());
+    report.meta("threads", threads);
+    report.meta("requests per setting", total_requests);
+    report.meta("baseline max pages/query ratio", baseline_ratio);
+
+    let s = report.section(
+        "serving",
+        &[
+            "setting", "clients", "max batch", "ok", "429", "errors", "qps", "p50 ms",
+            "p99 ms", "p999 ms",
+        ],
+    );
+    for o in &outcomes {
+        s.row(vec![
+            o.setting.label.to_string(),
+            o.setting.clients.to_string(),
+            o.setting.max_batch.to_string(),
+            o.stats.ok.to_string(),
+            o.stats.rejected.to_string(),
+            o.stats.errors.to_string(),
+            format!("{:.1}", o.stats.qps()),
+            format!("{:.3}", o.stats.percentile(50.0) * 1e3),
+            format!("{:.3}", o.stats.percentile(99.0) * 1e3),
+            format!("{:.3}", o.stats.percentile(99.9) * 1e3),
+        ]);
+    }
+
+    let per_query = |o: &Outcome| o.pages as f64 / o.stats.ok.max(1) as f64;
+    let seq = &outcomes[0];
+    let batched = &outcomes[1];
+    let ratio = per_query(batched) / per_query(seq);
+    let s2 = report.section("page economy at 8 clients", &["metric", "value"]);
+    s2.row(vec!["pages read, sequential dispatch".into(), seq.pages.to_string()]);
+    s2.row(vec!["pages read, batched dispatch".into(), batched.pages.to_string()]);
+    s2.row(vec![
+        "pages/query, sequential dispatch".into(),
+        format!("{:.3}", per_query(seq)),
+    ]);
+    s2.row(vec![
+        "pages/query, batched dispatch".into(),
+        format!("{:.3}", per_query(batched)),
+    ]);
+    s2.row(vec![
+        "batched / sequential".into(),
+        fmt_ratio(per_query(batched), per_query(seq)),
+    ]);
+    s2.row(vec![
+        "within baseline".into(),
+        (ratio <= baseline_ratio).to_string(),
+    ]);
+
+    let json = args.json.clone().unwrap_or_else(|| "BENCH_serving.json".into());
+    report.emit(Some(&json));
+    let envs: Vec<(&str, &ct_storage::StorageEnv)> =
+        outcomes.iter().map(|o| (o.setting.label, o.engine.env())).collect();
+    ct_bench::metrics::emit_metrics_if_requested(args.metrics.as_deref(), &envs);
+
+    let mut failed = false;
+    for o in &outcomes {
+        if o.stats.errors > 0 || o.stats.ok == 0 {
+            eprintln!(
+                "regression: {} @ {} clients had {} errors, {} ok",
+                o.setting.label, o.setting.clients, o.stats.errors, o.stats.ok
+            );
+            failed = true;
+        }
+    }
+    if ratio > baseline_ratio {
+        eprintln!(
+            "regression: batched dispatch read {:.3} pages/query vs {:.3} sequential \
+             (ratio {:.3} > baseline {baseline_ratio:.3})",
+            per_query(batched),
+            per_query(seq),
+            ratio
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Reads `max_batched_pages_per_query_ratio` from the checked-in baseline,
+/// falling back to 1.0 (batching must not read more pages per query than
+/// sequential dispatch) if the file is missing or unparsable.
+fn read_baseline_ratio(path: &str) -> f64 {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|doc| doc.get("max_batched_pages_per_query_ratio")?.as_f64())
+        .unwrap_or(1.0)
+}

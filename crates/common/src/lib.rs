@@ -13,6 +13,8 @@
 //! * [`query`] — the slice-query model of the paper's §3.1/§3.3 evaluation.
 //! * [`cost`] — the 1998-calibrated I/O cost model used to turn page-access
 //!   counters into simulated elapsed time.
+//! * [`stats`] — order statistics (nearest-rank percentiles) shared by the
+//!   workload runner, the serving layer and the bench reports.
 //! * [`error`] — the shared error type.
 
 pub mod agg;
@@ -21,6 +23,7 @@ pub mod error;
 pub mod geom;
 pub mod query;
 pub mod schema;
+pub mod stats;
 
 pub use agg::{AggFn, AggState};
 pub use cost::CostModel;

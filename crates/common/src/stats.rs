@@ -1,0 +1,99 @@
+//! Small order statistics shared by every measurement layer.
+//!
+//! The nearest-rank percentile used to be private to the workload runner;
+//! the serving layer and its bench report need the exact same definition
+//! (tail latencies must be comparable across reports), so the single
+//! implementation lives here. Nearest rank means the estimate is always an
+//! observed sample: rank `ceil(p/100 · n)` of the ascending-sorted values,
+//! so `p = 0` is the minimum and `p = 100` the maximum.
+
+/// The `p`-th percentile (0–100, nearest rank) of `values`.
+///
+/// Defined as 0.0 on an empty sample so report code never divides by zero
+/// or panics on an empty batch. `p` is clamped to `[0, 100]`. NaN samples
+/// compare as equal to everything (the sort falls back to
+/// `Ordering::Equal`), preserving the workload runner's historical
+/// behavior.
+pub fn percentile_nearest_rank(values: impl IntoIterator<Item = f64>, p: f64) -> f64 {
+    let mut v: Vec<f64> = values.into_iter().collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_of_sorted(&v, p)
+}
+
+/// Nearest-rank percentile over an already ascending-sorted slice; 0.0 on
+/// an empty slice. Use this form when taking several percentiles of the
+/// same sample to sort once instead of once per call.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // The epsilon absorbs binary-fraction noise: 99.9/100 · 1000 computes
+    // as 999.0000000000001, which must rank 999, not ceil up to 1000.
+    let exact = (p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64;
+    let rank = (exact - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The serving report quotes p50/p99/p999; pin them on a known
+    /// distribution (1..=1000, shuffled) so all three layers agree forever.
+    #[test]
+    fn p50_p99_p999_pinned_on_known_distribution() {
+        // A fixed permutation of 1..=1000 (LCG walk) — percentiles must not
+        // depend on arrival order.
+        let mut values: Vec<f64> = Vec::with_capacity(1000);
+        let mut x = 7u64;
+        let mut pool: Vec<u64> = (1..=1000).collect();
+        while !pool.is_empty() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            values.push(pool.swap_remove((x % pool.len() as u64) as usize) as f64);
+        }
+        assert_eq!(percentile_nearest_rank(values.iter().copied(), 50.0), 500.0);
+        assert_eq!(percentile_nearest_rank(values.iter().copied(), 99.0), 990.0);
+        assert_eq!(percentile_nearest_rank(values.iter().copied(), 99.9), 999.0);
+        assert_eq!(percentile_nearest_rank(values.iter().copied(), 0.0), 1.0);
+        assert_eq!(percentile_nearest_rank(values, 100.0), 1000.0);
+    }
+
+    #[test]
+    fn nearest_rank_on_small_samples() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile_nearest_rank(v, 0.0), 1.0);
+        assert_eq!(percentile_nearest_rank(v, 25.0), 1.0);
+        assert_eq!(percentile_nearest_rank(v, 50.0), 2.0);
+        assert_eq!(percentile_nearest_rank(v, 75.0), 3.0);
+        assert_eq!(percentile_nearest_rank(v, 100.0), 4.0);
+        // A single sample is every percentile.
+        assert_eq!(percentile_nearest_rank([7.5], 1.0), 7.5);
+        assert_eq!(percentile_nearest_rank([7.5], 99.9), 7.5);
+    }
+
+    #[test]
+    fn empty_sample_is_zero_not_panic() {
+        assert_eq!(percentile_nearest_rank(std::iter::empty(), 50.0), 0.0);
+        assert_eq!(percentile_of_sorted(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn sorted_form_matches_unsorted_form() {
+        let mut v = vec![9.0, 2.0, 5.0, 5.0, 1.0];
+        let unsorted: Vec<f64> = v.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.9, 100.0] {
+            assert_eq!(
+                percentile_of_sorted(&v, p),
+                percentile_nearest_rank(unsorted.iter().copied(), p)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_nearest_rank(v, -5.0), 1.0);
+        assert_eq!(percentile_nearest_rank(v, 250.0), 3.0);
+    }
+}

@@ -321,13 +321,30 @@ pub fn execute_forest_query_batch(
     catalog: &Catalog,
     queries: &[SliceQuery],
 ) -> Result<BatchOutput> {
+    // One pin around the whole batch: every query in it answers from the
+    // same generation.
+    let pin = forest.pin();
+    execute_generation_query_batch(&pin, env, catalog, queries)
+}
+
+/// Plans, schedules and executes a whole batch against one pinned
+/// generation — the form [`execute_forest_query_batch`] delegates to.
+///
+/// Callers that need to attribute the answers to a specific committed
+/// generation (the serving layer stamps every HTTP response with the
+/// generation it answered from) pin the forest themselves, read
+/// [`Generation::number`], and execute through this entry point, so the
+/// stamp and the answers are guaranteed to come from the same snapshot.
+pub fn execute_generation_query_batch(
+    gen: &Generation,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    queries: &[SliceQuery],
+) -> Result<BatchOutput> {
     // One root "query" phase around the whole batch, opened and dropped on
     // the calling thread so root phases never overlap and the I/O delta
-    // reconciles against the global counters. One pin around the whole
-    // batch, too: every query in it answers from the same generation.
+    // reconciles against the global counters.
     let phase = env.phase("query");
-    let pin = forest.pin();
-    let gen: &Generation = &pin;
     let (groups, sched) = schedule(gen, catalog, queries)?;
     let recorder = env.recorder().clone();
     if recorder.is_enabled() {

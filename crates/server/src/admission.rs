@@ -1,0 +1,307 @@
+//! Admission-controlled batching for the query path.
+//!
+//! Incoming queries land in a bounded queue. A single batch-former thread
+//! drains the queue into batches — flushing when either `max_batch` queries
+//! have accumulated or the oldest waiter has been queued for `max_delay` —
+//! and executes each batch against **one pinned generation** through the
+//! engine's batched scheduler ([`cubetree::query::execute_generation_query_batch`]).
+//! Under concurrency this turns N point dispatches into one scheduled sweep
+//! (packed-order sorting, shared scans, readahead), so the server reads
+//! *fewer* pages per query as load rises. When the queue is already
+//! `max_depth` deep, [`Admission::submit`] refuses immediately; the HTTP
+//! layer translates that into `429 Too Many Requests` + `Retry-After`,
+//! keeping latency bounded instead of letting the queue grow without limit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ct_common::query::QueryRow;
+use ct_common::SliceQuery;
+use cubetree::query::{execute_generation_query, execute_generation_query_batch};
+use cubetree::{CubetreeEngine, RolapEngine};
+
+/// Tuning knobs for the admission queue and batch former.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Queue-depth bound; a submit against a full queue is refused (429).
+    pub max_depth: usize,
+    /// Flush a batch as soon as this many queries have accumulated.
+    pub max_batch: usize,
+    /// Flush a batch once the oldest queued query has waited this long.
+    pub max_delay: Duration,
+    /// Advertised `Retry-After` (seconds) on refused submissions.
+    pub retry_after_secs: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_depth: 256,
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// A successfully executed query: the rows plus the generation they were
+/// answered from (both taken under the same pin, so they always agree).
+#[derive(Debug)]
+pub struct QueryAnswer {
+    /// Generation number the batch was executed against.
+    pub generation: u64,
+    /// Result rows, in engine order.
+    pub rows: Vec<QueryRow>,
+}
+
+/// Submission refused because the queue is at `max_depth`.
+#[derive(Debug)]
+pub struct Overloaded {
+    /// Seconds the client should wait before retrying.
+    pub retry_after_secs: u64,
+}
+
+struct Pending {
+    query: SliceQuery,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Result<QueryAnswer, String>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    nonempty: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Handle for submitting queries into the admission queue.
+pub struct Admission {
+    shared: Arc<Shared>,
+    config: AdmissionConfig,
+    enqueued: ct_obs::Counter,
+    rejected: ct_obs::Counter,
+    depth: ct_obs::Gauge,
+}
+
+impl Admission {
+    /// Creates the queue and spawns the batch-former thread, which executes
+    /// batches against `engine` until [`Admission::shutdown`].
+    pub fn start(engine: Arc<CubetreeEngine>, config: AdmissionConfig) -> Admission {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let recorder = engine.env().recorder().clone();
+        let admission = Admission {
+            shared: Arc::clone(&shared),
+            config: config.clone(),
+            enqueued: recorder.counter("server.admission.enqueued"),
+            rejected: recorder.counter("server.admission.rejected"),
+            depth: recorder.gauge("server.admission.depth"),
+        };
+        std::thread::Builder::new()
+            .name("ct-server-batcher".to_string())
+            .spawn(move || batcher(engine, shared, config))
+            .expect("spawn batcher thread");
+        admission
+    }
+
+    /// Enqueues one validated query. The receiver yields the answer (or an
+    /// execution-error message) once the batch containing it has run.
+    ///
+    /// # Errors
+    /// [`Overloaded`] when the queue is at `max_depth`.
+    pub fn submit(
+        &self,
+        query: SliceQuery,
+    ) -> Result<mpsc::Receiver<Result<QueryAnswer, String>>, Overloaded> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            if queue.len() >= self.config.max_depth {
+                self.rejected.inc();
+                return Err(Overloaded { retry_after_secs: self.config.retry_after_secs });
+            }
+            queue.push_back(Pending { query, enqueued_at: Instant::now(), reply: tx });
+            self.depth.set(queue.len() as f64);
+        }
+        self.enqueued.inc();
+        self.shared.nonempty.notify_one();
+        Ok(rx)
+    }
+
+    /// Asks the batch former to drain the queue and exit.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.nonempty.notify_all();
+    }
+}
+
+/// The batch-former loop: wait for work, form a batch (size or deadline
+/// triggered), execute it, answer every waiter.
+fn batcher(engine: Arc<CubetreeEngine>, shared: Arc<Shared>, config: AdmissionConfig) {
+    let recorder = engine.env().recorder().clone();
+    let flushes = recorder.counter("server.batch.flushes");
+    let batch_size = recorder.histogram("server.batch.size");
+    let formed_us = recorder.histogram("server.batch.formed_us");
+    let depth = recorder.gauge("server.admission.depth");
+    loop {
+        let batch: Vec<Pending> = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if queue.is_empty() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = shared.nonempty.wait(queue).expect("queue poisoned");
+                    continue;
+                }
+                // Items are queued while the batch forms; the depth bound
+                // therefore counts forming work too, which is what makes
+                // overload refuse instead of stall.
+                let deadline = queue[0].enqueued_at + config.max_delay;
+                let now = Instant::now();
+                if queue.len() >= config.max_batch
+                    || now >= deadline
+                    || shared.shutdown.load(Ordering::SeqCst)
+                {
+                    let n = queue.len().min(config.max_batch.max(1));
+                    let drained = queue.drain(..n).collect();
+                    depth.set(queue.len() as f64);
+                    break drained;
+                }
+                let (q, _timeout) = shared
+                    .nonempty
+                    .wait_timeout(queue, deadline - now)
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        flushes.inc();
+        batch_size.record(batch.len() as u64);
+        formed_us.record(batch[0].enqueued_at.elapsed().as_micros() as u64);
+        execute(&engine, batch);
+    }
+}
+
+/// Executes one formed batch against a single pinned generation and
+/// delivers per-query answers.
+fn execute(engine: &CubetreeEngine, batch: Vec<Pending>) {
+    let Some(forest) = engine.forest() else {
+        for p in batch {
+            let _ = p.reply.send(Err("engine not loaded".to_string()));
+        }
+        return;
+    };
+    // One pin for the whole batch: answers and the stamped generation
+    // number come from the same snapshot even if a refresh commits midway.
+    let pin = forest.pin();
+    let generation = pin.number();
+    let queries: Vec<SliceQuery> = batch.iter().map(|p| p.query.clone()).collect();
+    if engine.env().parallelism().is_parallel() && queries.len() > 1 {
+        match execute_generation_query_batch(&pin, engine.env(), engine.catalog(), &queries) {
+            Ok(out) => {
+                for (p, rows) in batch.into_iter().zip(out.results) {
+                    let _ = p.reply.send(Ok(QueryAnswer { generation, rows }));
+                }
+            }
+            Err(e) => {
+                let msg = format!("batch execution failed: {e}");
+                for p in batch {
+                    let _ = p.reply.send(Err(msg.clone()));
+                }
+            }
+        }
+    } else {
+        for p in batch {
+            let answer = execute_generation_query(&pin, engine.env(), engine.catalog(), &p.query)
+                .map(|rows| QueryAnswer { generation, rows })
+                .map_err(|e| format!("query execution failed: {e}"));
+            let _ = p.reply.send(answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::{AggFn, Catalog, ViewDef};
+    use ct_cube::Relation;
+    use cubetree::engine::{CubetreeConfig, RolapEngine};
+
+    fn tiny_engine(threads: usize) -> Arc<CubetreeEngine> {
+        let mut catalog = Catalog::new();
+        let p = catalog.add_attr("p", 4);
+        let s = catalog.add_attr("s", 3);
+        let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
+        let mut engine =
+            CubetreeEngine::new(catalog, CubetreeConfig::new(views).with_threads(threads))
+                .unwrap();
+        let fact =
+            Relation::from_fact(vec![p, s], vec![1, 1, 2, 2, 3, 1, 1, 2], &[10, 20, 30, 40]);
+        engine.load(&fact).unwrap();
+        Arc::new(engine)
+    }
+
+    fn query_for(engine: &CubetreeEngine) -> SliceQuery {
+        let p = engine.catalog().attr_by_name("p").unwrap();
+        SliceQuery::new(vec![p], vec![])
+    }
+
+    #[test]
+    fn answers_match_the_sequential_engine() {
+        let engine = tiny_engine(1);
+        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        let q = query_for(&engine);
+        let rx = admission.submit(q.clone()).unwrap();
+        let answer = rx.recv().unwrap().unwrap();
+        assert_eq!(answer.generation, engine.forest().unwrap().generation_number());
+        // Engine row order is an implementation detail; compare normalized.
+        assert_eq!(
+            ct_common::query::normalize_rows(answer.rows),
+            ct_common::query::normalize_rows(engine.query(&q).unwrap())
+        );
+        admission.shutdown();
+    }
+
+    #[test]
+    fn overload_is_refused_with_retry_after() {
+        let engine = tiny_engine(1);
+        // A long forming window and depth 2: the queue stays occupied while
+        // the batch forms, so the third submit in the window is refused.
+        let cfg = AdmissionConfig {
+            max_depth: 2,
+            max_batch: 64,
+            max_delay: Duration::from_millis(500),
+            retry_after_secs: 7,
+        };
+        let admission = Admission::start(Arc::clone(&engine), cfg);
+        let q = query_for(&engine);
+        let rx1 = admission.submit(q.clone()).unwrap();
+        let rx2 = admission.submit(q.clone()).unwrap();
+        let refused = admission.submit(q.clone()).unwrap_err();
+        assert_eq!(refused.retry_after_secs, 7);
+        assert!(rx1.recv().unwrap().is_ok());
+        assert!(rx2.recv().unwrap().is_ok());
+        admission.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let engine = tiny_engine(2);
+        let cfg = AdmissionConfig {
+            max_delay: Duration::from_millis(200),
+            ..AdmissionConfig::default()
+        };
+        let admission = Admission::start(Arc::clone(&engine), cfg);
+        let q = query_for(&engine);
+        let receivers: Vec<_> =
+            (0..8).map(|_| admission.submit(q.clone()).unwrap()).collect();
+        admission.shutdown();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok(), "queued query dropped on shutdown");
+        }
+    }
+}

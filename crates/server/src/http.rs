@@ -1,0 +1,366 @@
+//! A minimal HTTP/1.1 message layer over blocking [`std::io`] streams.
+//!
+//! The workspace is offline (no tokio/hyper), and the serving layer only
+//! needs the subset of HTTP/1.1 its own clients speak: request line +
+//! headers + optional `Content-Length` body, keep-alive by default, no
+//! chunked transfer encoding. Parsing is strict and size-limited so a
+//! malformed or hostile peer gets a 4xx (or a dropped connection), never a
+//! panic or an unbounded allocation.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum accepted header count.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum accepted header line length in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum accepted request-body length in bytes.
+pub const MAX_BODY: usize = 32 * 1024 * 1024;
+
+/// A parse failure, carrying the HTTP status the server should answer with.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to respond with (`400` or `413`).
+    pub status: u16,
+    /// Human-readable reason, sent back in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> Self {
+        HttpError { status: 400, message: message.into() }
+    }
+
+    fn too_large(message: impl Into<String>) -> Self {
+        HttpError { status: 413, message: message.into() }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Method verb, e.g. `GET` or `POST`.
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Query string (after `?`), empty if absent.
+    pub query_string: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Value of a `k=v` pair in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query_string.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping the terminator and any
+/// trailing `\r`. Returns `None` on clean EOF before any byte.
+fn read_line(
+    stream: &mut impl BufRead,
+    limit: usize,
+    what: &str,
+) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = stream
+            .fill_buf()
+            .map_err(|e| HttpError::bad(format!("read error in {what}: {e}")))?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::bad(format!("connection closed mid-{what}")));
+        }
+        if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + nl > limit {
+                return Err(HttpError::too_large(format!("{what} exceeds {limit} bytes")));
+            }
+            buf.extend_from_slice(&chunk[..nl]);
+            stream.consume(nl + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let line = String::from_utf8(buf)
+                .map_err(|_| HttpError::bad(format!("non-utf8 {what}")))?;
+            return Ok(Some(line));
+        }
+        let n = chunk.len();
+        buf.extend_from_slice(chunk);
+        stream.consume(n);
+        if buf.len() > limit {
+            return Err(HttpError::too_large(format!("{what} exceeds {limit} bytes")));
+        }
+    }
+}
+
+/// Reads and parses one request from the stream.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly between
+/// requests (the normal end of a keep-alive session).
+///
+/// # Errors
+/// [`HttpError`] with status 400 for malformed framing and 413 for
+/// over-limit request lines, headers or bodies.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(stream, MAX_REQUEST_LINE, "request line")? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or_else(|| HttpError::bad("missing request target"))?;
+    let version = parts.next().ok_or_else(|| HttpError::bad("missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(format!("malformed request line {request_line:?}")));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::bad(format!("malformed method {method:?}")));
+    }
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    if !path.starts_with('/') {
+        return Err(HttpError::bad(format!("request target {target:?} is not a path")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream, MAX_HEADER_LINE, "header")?
+            .ok_or_else(|| HttpError::bad("connection closed inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::too_large(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::bad(format!("bad content-length {v:?}")))
+        })
+        .transpose()?;
+    if let Some(len) = content_length {
+        if len > MAX_BODY {
+            return Err(HttpError::too_large(format!("body of {len} bytes exceeds {MAX_BODY}")));
+        }
+        body.resize(len, 0);
+        let mut read = 0;
+        while read < len {
+            let chunk = stream
+                .fill_buf()
+                .map_err(|e| HttpError::bad(format!("read error in body: {e}")))?;
+            if chunk.is_empty() {
+                return Err(HttpError::bad("connection closed mid-body"));
+            }
+            let n = chunk.len().min(len - read);
+            body[read..read + n].copy_from_slice(&chunk[..n]);
+            stream.consume(n);
+            read += n;
+        }
+    } else if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::bad("chunked transfer encoding is not supported"));
+    }
+
+    Ok(Some(Request { method, path, query_string, headers, body }))
+}
+
+/// One response, built by route handlers and serialized by the connection
+/// loop.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers beyond the standard set, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status and pre-serialized body.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A CSV response (status 200).
+    pub fn csv(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/csv",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response onto the stream.
+    ///
+    /// # Errors
+    /// Propagates write errors (the connection loop drops the peer).
+    pub fn write(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query_string() {
+        let req = parse(
+            b"POST /query?format=csv HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query_string, "format=csv");
+        assert_eq!(req.query_param("format"), Some("csv"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn bare_lf_and_missing_body_are_tolerated() {
+        let req = parse(b"GET /healthz HTTP/1.1\nConnection: close\n\n").unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bad in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x SPDY/9\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nincomplete",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.status, 400, "wanted 400 for {:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn limits_yield_413() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert_eq!(parse(long_line.as_bytes()).unwrap_err().status, 413);
+        let huge_body =
+            format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(parse(huge_body.as_bytes()).unwrap_err().status, 413);
+        let mut many_headers = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert_eq!(parse(many_headers.as_bytes()).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"busy\"}".to_string())
+            .with_header("retry-after", "1")
+            .write(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"busy\"}"));
+    }
+}

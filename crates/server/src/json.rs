@@ -1,0 +1,415 @@
+//! A minimal JSON value model, parser and string escaper.
+//!
+//! The build is offline (no serde); request bodies are small and shallow,
+//! so a hand-rolled recursive-descent parser over the full RFC 8259 grammar
+//! is plenty: objects, arrays, strings with escapes (including `\uXXXX` and
+//! surrogate pairs), numbers parsed as `f64`, booleans and `null`. Depth is
+//! capped so a hostile body cannot blow the stack.
+
+/// Maximum nesting depth accepted by [`Json::parse`].
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses `input` as one JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    /// A human-readable message naming the byte offset of the problem.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if this is a number holding
+    /// one exactly (rejects fractions, negatives and magnitudes beyond
+    /// 2⁵³, where `f64` stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9007199254740992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The number as a signed integer under the same exactness rules as
+    /// [`Json::as_u64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (-9007199254740992.0..=9007199254740992.0).contains(&n) {
+            Some(n as i64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number. Rust's shortest-round-trip `Display`
+/// is already valid JSON for finite values; non-finite values become
+/// `null` (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(format!("bad escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // encoding is already valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // Surrogate pair: must be followed by \uDC00..\uDFFF.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| "bad surrogate pair".to_string());
+                }
+            }
+            return Err("lone surrogate in \\u escape".to_string());
+        }
+        char::from_u32(hi).ok_or_else(|| "bad \\u escape".to_string())
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_query_request_shape() {
+        let v = Json::parse(
+            r#"{"group_by": ["suppkey"], "where": {"partkey": 3}, "format": "csv"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("group_by").unwrap().as_array().unwrap()[0].as_str(),
+            Some("suppkey")
+        );
+        assert_eq!(v.get("where").unwrap().get("partkey").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("format").unwrap().as_str(), Some("csv"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn scalars_arrays_and_nesting() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+        let v = Json::parse(r#"[[1, 2], [3, 4]]"#).unwrap();
+        assert_eq!(v.as_array().unwrap()[1].as_array().unwrap()[0].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::parse(r#""a\"b\\c\n\t\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\n\tAé"));
+        // Surrogate pair: U+1F600.
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate");
+        assert_eq!(Json::parse(&escape("a\"b\\c\nx")).unwrap().as_str(), Some("a\"b\\c\nx"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_panicked() {
+        for bad in [
+            "", "{", "[", "\"", "{\"a\"}", "{\"a\":}", "[1,]", "{\"a\":1,}", "tru",
+            "1 2", "{} []", "\u{1}", "nul", "[1 2]", "--1", "1e", "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integer_conversions_reject_inexact_values() {
+        assert_eq!(Json::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_i64(), Some(-1));
+        assert_eq!(Json::Num(1e300).as_u64(), None);
+        assert_eq!(Json::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(number(42.0), "42");
+        assert_eq!(number(4.25), "4.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        // Round trip through our own parser is exact.
+        let v = 1234.567891011e-3;
+        assert_eq!(Json::parse(&number(v)).unwrap().as_f64(), Some(v));
+    }
+}

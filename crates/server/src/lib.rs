@@ -1,0 +1,318 @@
+//! # ct-server — HTTP serving layer for the Cubetree engine
+//!
+//! A long-lived binary front end over the typed [`cubetree`] engine API:
+//! hand-rolled HTTP/1.1 on [`std::net`] (the workspace is offline — no
+//! tokio, no hyper), JSON and CSV response formats, and an
+//! admission-controlled batching query path.
+//!
+//! ## Endpoints
+//!
+//! | method | path | purpose |
+//! |---|---|---|
+//! | `GET` | `/healthz` | liveness + current generation |
+//! | `GET` | `/views` | materialized views of the pinned generation |
+//! | `GET` | `/metrics` | [`ct_obs`] metrics snapshot as JSON |
+//! | `POST` | `/query` | one slice query (JSON or CSV answer) |
+//! | `POST` | `/refresh` | merge-pack a delta; readers keep answering |
+//!
+//! ## Architecture
+//!
+//! Connections are handled thread-per-connection with keep-alive. Query
+//! requests are validated against the loaded schema, then enqueued into a
+//! bounded [`admission`] queue; a single batch-former thread drains the
+//! queue into batches and executes each against one pinned generation via
+//! the engine's scheduler, so concurrent clients share leaf passes and
+//! packed-order sweeps. A full queue answers `429` + `Retry-After` instead
+//! of queueing without bound. `POST /refresh` runs the generation-MVCC
+//! merge-pack concurrently with in-flight reads: queries admitted before
+//! the flip answer from the old generation, queries after from the new,
+//! and every response is stamped with the generation it answered from.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ct_common::{AggFn, Catalog, ViewDef};
+//! use ct_cube::Relation;
+//! use cubetree::engine::{CubetreeConfig, CubetreeEngine, RolapEngine};
+//! use ct_server::{CtServer, ServerConfig};
+//!
+//! let mut catalog = Catalog::new();
+//! let p = catalog.add_attr("partkey", 100);
+//! let s = catalog.add_attr("suppkey", 10);
+//! let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
+//! let mut engine = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+//! engine.load(&Relation::from_fact(vec![p, s], vec![1, 1], &[10])).unwrap();
+//! let server = CtServer::start(Arc::new(engine), ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! server.shutdown();
+//! ```
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod routes;
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ct_common::{CtError, Result};
+use cubetree::{CubetreeEngine, RolapEngine};
+
+use admission::{Admission, AdmissionConfig};
+use http::{read_request, Response};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port (the bound
+    /// address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Admission-queue and batch-former tuning.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".to_string(), admission: AdmissionConfig::default() }
+    }
+}
+
+struct ServerState {
+    engine: Arc<CubetreeEngine>,
+    admission: Admission,
+    refresh_lock: Mutex<()>,
+    stop: AtomicBool,
+}
+
+/// The serving layer. [`CtServer::start`] binds, spawns the accept loop and
+/// the batch former, and returns a handle; [`ServerHandle::shutdown`] (or
+/// dropping the handle) stops everything.
+pub struct CtServer;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CtServer {
+    /// Binds `config.addr` and starts serving `engine`.
+    ///
+    /// # Errors
+    /// [`CtError::InvalidArgument`] if the engine has not been loaded;
+    /// [`CtError::Io`] if the listener cannot bind.
+    pub fn start(engine: Arc<CubetreeEngine>, config: ServerConfig) -> Result<ServerHandle> {
+        if engine.forest().is_none() {
+            return Err(CtError::invalid("load the engine before starting the server"));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let admission = Admission::start(Arc::clone(&engine), config.admission);
+        let state = Arc::new(ServerState {
+            engine,
+            admission,
+            refresh_lock: Mutex::new(()),
+            stop: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("ct-server-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_state))
+            .map_err(|e| CtError::invalid(format!("spawn accept thread: {e}")))?;
+        Ok(ServerHandle { state, addr, accept_thread: Some(accept_thread) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the admission queue, and joins the accept
+    /// loop. Idempotent.
+    pub fn shutdown(&self) {
+        if self.state.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.state.admission.shutdown();
+        // The accept loop blocks in accept(); poke it awake with a
+        // throwaway connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Like [`ServerHandle::shutdown`], but also joins the accept thread
+    /// (consumes the handle).
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_state = Arc::clone(&state);
+        // Thread-per-connection: clients keep their connection alive for
+        // many requests, so thread churn is per-client, not per-request.
+        let _ = std::thread::Builder::new()
+            .name("ct-server-conn".to_string())
+            .spawn(move || connection_loop(stream, conn_state));
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, asks to close,
+/// sends something malformed, or the server stops.
+fn connection_loop(stream: TcpStream, state: Arc<ServerState>) {
+    // A read timeout lets the loop notice server shutdown even while a
+    // client holds its connection open idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let recorder = state.engine.env().recorder().clone();
+    let requests = recorder.counter("server.http.requests");
+    let latency_us = recorder.histogram("server.http.latency_us");
+    let mut reader = BufReader::new(stream);
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF between requests
+            Err(e) if is_timeout_message(&e.message) => continue,
+            Err(e) => {
+                requests.inc();
+                recorder.add("server.http.status_4xx", 1);
+                let resp = Response::json(
+                    e.status,
+                    format!("{{\"error\": {}}}", json::escape(&e.message)),
+                );
+                let _ = resp.write(reader.get_mut(), false);
+                return;
+            }
+        };
+        requests.inc();
+        let started = Instant::now();
+        let response =
+            routes::dispatch(&state.engine, &state.admission, &state.refresh_lock, &req);
+        latency_us.record(started.elapsed().as_micros() as u64);
+        if recorder.is_enabled() {
+            let class = match response.status {
+                429 => "server.http.status_429",
+                s if s < 300 => "server.http.status_2xx",
+                s if s < 500 => "server.http.status_4xx",
+                _ => "server.http.status_5xx",
+            };
+            recorder.add(class, 1);
+        }
+        let keep_alive = !req.wants_close();
+        if response.write(reader.get_mut(), keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Whether an [`http::HttpError`] wraps a read timeout (idle keep-alive
+/// poll) rather than real peer bytes. The message embeds the
+/// [`std::io::Error`] display, which names the timeout kinds.
+fn is_timeout_message(message: &str) -> bool {
+    message.contains("timed out") || message.contains("would block")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::{AggFn, Catalog, ViewDef};
+    use ct_cube::Relation;
+    use cubetree::engine::{CubetreeConfig, RolapEngine};
+    use std::io::{Read, Write};
+
+    fn tiny_engine() -> Arc<CubetreeEngine> {
+        let mut catalog = Catalog::new();
+        let p = catalog.add_attr("partkey", 4);
+        let s = catalog.add_attr("suppkey", 3);
+        let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
+        let mut engine = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+        let fact = Relation::from_fact(vec![p, s], vec![1, 1, 2, 2], &[10, 20]);
+        engine.load(&fact).unwrap();
+        Arc::new(engine)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn starting_an_unloaded_engine_fails() {
+        let mut catalog = Catalog::new();
+        let p = catalog.add_attr("p", 4);
+        let views = vec![ViewDef::new(0, vec![p], AggFn::Sum)];
+        let engine =
+            Arc::new(CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap());
+        assert!(CtServer::start(engine, ServerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn healthz_views_and_shutdown() {
+        let server = CtServer::start(tiny_engine(), ServerConfig::default()).unwrap();
+        let health = roundtrip(
+            server.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"generation\": 0"), "{health}");
+        let views =
+            roundtrip(server.addr(), "GET /views HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(views.contains("V{partkey,suppkey}"), "{views}");
+        let missing =
+            roundtrip(server.addr(), "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let wrong_verb =
+            roundtrip(server.addr(), "GET /query HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(wrong_verb.starts_with("HTTP/1.1 405"), "{wrong_verb}");
+        server.join();
+    }
+
+    #[test]
+    fn malformed_http_is_answered_not_crashed() {
+        let server = CtServer::start(tiny_engine(), ServerConfig::default()).unwrap();
+        let garbage = roundtrip(server.addr(), "GARBAGE\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+        // Server is still healthy afterwards.
+        let health = roundtrip(
+            server.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        server.join();
+    }
+}

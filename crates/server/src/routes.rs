@@ -1,0 +1,612 @@
+//! Route dispatch, request validation and response formatting.
+//!
+//! Every handler validates its input against the loaded schema *before*
+//! touching the engine: unknown attribute names, out-of-domain values,
+//! group-by/predicate overlap and underivable group-by sets all come back
+//! as `400` with a JSON error body — never a panic, never a wedged worker.
+
+use std::sync::Arc;
+
+use ct_common::query::{normalize_rows, QueryRow};
+use ct_common::{AttrId, Catalog, CtError, SliceQuery};
+use ct_cube::Relation;
+use cubetree::query::plan_generation_query;
+use cubetree::{CubetreeEngine, RolapEngine};
+
+use crate::admission::Admission;
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+
+/// A handler failure: status + message, rendered as `{"error": "..."}`.
+#[derive(Debug)]
+pub struct ApiError {
+    /// HTTP status (4xx for caller mistakes, 5xx for server faults).
+    pub status: u16,
+    /// Explanation sent to the client.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError { status: 400, message: message.into() }
+    }
+
+    /// A 500 Internal Server Error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError { status: 500, message: message.into() }
+    }
+
+    /// Renders the error as a JSON response.
+    pub fn into_response(self) -> Response {
+        Response::json(
+            self.status,
+            format!("{{\"error\": {}}}", json::escape(&self.message)),
+        )
+    }
+}
+
+/// Requested response format for `POST /query`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// JSON object with `columns`/`rows` (the default).
+    Json,
+    /// RFC-4180-style CSV with a header row.
+    Csv,
+}
+
+/// A validated query request: the typed query plus the response format.
+#[derive(Debug)]
+pub struct ValidatedQuery {
+    /// The schema-checked slice query.
+    pub query: SliceQuery,
+    /// Group-by attribute names, for the response header/columns.
+    pub columns: Vec<String>,
+    /// Requested response format.
+    pub format: Format,
+}
+
+/// Dispatches one request to its handler. Unknown paths get 404, known
+/// paths with the wrong verb get 405. `refresh_lock` serializes writers:
+/// reads proceed concurrently under MVCC, but only one merge-pack may run
+/// at a time.
+pub fn dispatch(
+    engine: &Arc<CubetreeEngine>,
+    admission: &Admission,
+    refresh_lock: &std::sync::Mutex<()>,
+    req: &Request,
+) -> Response {
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(engine),
+        ("GET", "/views") => handle_views(engine),
+        ("GET", "/metrics") => handle_metrics(engine),
+        ("POST", "/query") => return handle_query(engine, admission, req),
+        ("POST", "/refresh") => {
+            let _writer = refresh_lock.lock().expect("refresh lock poisoned");
+            handle_refresh(engine, req)
+        }
+        (_, "/healthz" | "/views" | "/metrics") => Err(ApiError {
+            status: 405,
+            message: format!("{} is GET-only", req.path),
+        }),
+        (_, "/query" | "/refresh") => Err(ApiError {
+            status: 405,
+            message: format!("{} is POST-only", req.path),
+        }),
+        _ => Err(ApiError { status: 404, message: format!("no such path {}", req.path) }),
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => e.into_response(),
+    }
+}
+
+fn handle_healthz(engine: &CubetreeEngine) -> Result<Response, ApiError> {
+    let generation = engine
+        .forest()
+        .map(|f| f.generation_number())
+        .ok_or_else(|| ApiError::internal("engine not loaded"))?;
+    Ok(Response::json(
+        200,
+        format!("{{\"status\": \"ok\", \"generation\": {generation}}}"),
+    ))
+}
+
+fn handle_views(engine: &CubetreeEngine) -> Result<Response, ApiError> {
+    let forest = engine.forest().ok_or_else(|| ApiError::internal("engine not loaded"))?;
+    let catalog = engine.catalog();
+    let pin = forest.pin();
+    let mut views = Vec::new();
+    for p in pin.placements() {
+        let projection: Vec<String> = p
+            .def
+            .projection
+            .iter()
+            .map(|a| json::escape(&catalog.attr(*a).name))
+            .collect();
+        views.push(format!(
+            "{{\"id\": {}, \"name\": {}, \"projection\": [{}], \"agg\": {}, \"entries\": {}, \"replica\": {}}}",
+            p.def.id.0,
+            json::escape(&p.def.display_name(catalog)),
+            projection.join(", "),
+            json::escape(&format!("{:?}", p.def.agg)),
+            pin.entries_of(p.def.id),
+            p.logical != p.def.id,
+        ));
+    }
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"generation\": {}, \"views\": [{}]}}",
+            pin.number(),
+            views.join(", ")
+        ),
+    ))
+}
+
+fn handle_metrics(engine: &CubetreeEngine) -> Result<Response, ApiError> {
+    Ok(Response::json(200, engine.env().recorder().snapshot().to_json()))
+}
+
+/// The query path: parse → validate → admission queue → wait → format.
+fn handle_query(
+    engine: &Arc<CubetreeEngine>,
+    admission: &Admission,
+    req: &Request,
+) -> Response {
+    let validated = match validate_query_request(engine, req) {
+        Ok(v) => v,
+        Err(e) => return e.into_response(),
+    };
+    let rx = match admission.submit(validated.query) {
+        Ok(rx) => rx,
+        Err(overloaded) => {
+            return Response::json(
+                429,
+                "{\"error\": \"admission queue full, retry later\"}".to_string(),
+            )
+            .with_header("retry-after", overloaded.retry_after_secs.to_string());
+        }
+    };
+    match rx.recv() {
+        Ok(Ok(answer)) => {
+            let rows = normalize_rows(answer.rows);
+            match validated.format {
+                Format::Json => Response::json(
+                    200,
+                    query_rows_json(answer.generation, &validated.columns, &rows),
+                ),
+                Format::Csv => Response::csv(query_rows_csv(&validated.columns, &rows))
+                    .with_header("x-generation", answer.generation.to_string()),
+            }
+        }
+        Ok(Err(message)) => ApiError::internal(message).into_response(),
+        Err(_) => ApiError::internal("batch executor went away").into_response(),
+    }
+}
+
+/// Renders the JSON body for a query answer. Rows are emitted as arrays
+/// `[key..., agg]` aligned with `columns` + a trailing `"agg"` column.
+fn query_rows_json(generation: u64, columns: &[String], rows: &[QueryRow]) -> String {
+    let mut cols: Vec<String> = columns.iter().map(|c| json::escape(c)).collect();
+    cols.push("\"agg\"".to_string());
+    let mut body = format!(
+        "{{\"generation\": {generation}, \"columns\": [{}], \"row_count\": {}, \"rows\": [",
+        cols.join(", "),
+        rows.len()
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push('[');
+        for k in &row.key {
+            body.push_str(&k.to_string());
+            body.push_str(", ");
+        }
+        body.push_str(&json::number(row.agg));
+        body.push(']');
+    }
+    body.push_str("]}");
+    body
+}
+
+/// Renders the CSV body: a header of group-by names + `agg`, then one line
+/// per row. Attribute values are integers and the aggregate uses Rust's
+/// shortest-round-trip float formatting, so no quoting is ever needed.
+fn query_rows_csv(columns: &[String], rows: &[QueryRow]) -> String {
+    let mut body = String::new();
+    for c in columns {
+        body.push_str(c);
+        body.push(',');
+    }
+    body.push_str("agg\r\n");
+    for row in rows {
+        for k in &row.key {
+            body.push_str(&k.to_string());
+            body.push(',');
+        }
+        body.push_str(&json::number(row.agg));
+        body.push_str("\r\n");
+    }
+    body
+}
+
+/// Parses and validates a `POST /query` body against the loaded schema.
+///
+/// Accepted shape:
+/// ```json
+/// {"group_by": ["suppkey"], "where": {"partkey": 3},
+///  "ranges": {"timekey": [5, 10]}, "format": "csv"}
+/// ```
+/// Format precedence: body `"format"` > `?format=` query parameter >
+/// `Accept: text/csv` header; default JSON.
+///
+/// # Errors
+/// 400 for malformed JSON, unknown keys/attributes, out-of-domain values,
+/// grouped-and-sliced overlap, or a group-by no materialized view derives.
+pub fn validate_query_request(
+    engine: &CubetreeEngine,
+    req: &Request,
+) -> Result<ValidatedQuery, ApiError> {
+    let catalog = engine.catalog();
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    let doc = Json::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("body is not valid JSON: {e}")))?;
+    let members = doc
+        .as_object()
+        .ok_or_else(|| ApiError::bad_request("body must be a JSON object"))?;
+    for (key, _) in members {
+        if !matches!(key.as_str(), "group_by" | "where" | "ranges" | "format") {
+            return Err(ApiError::bad_request(format!(
+                "unknown key {key:?} (expected group_by, where, ranges, format)"
+            )));
+        }
+    }
+
+    let mut used: Vec<AttrId> = Vec::new();
+    let mut claim = |id: AttrId, name: &str| -> Result<(), ApiError> {
+        if used.contains(&id) {
+            return Err(ApiError::bad_request(format!(
+                "attribute {name:?} appears more than once across group_by/where/ranges"
+            )));
+        }
+        used.push(id);
+        Ok(())
+    };
+
+    let mut group_by = Vec::new();
+    let mut columns = Vec::new();
+    if let Some(g) = doc.get("group_by") {
+        let items = g
+            .as_array()
+            .ok_or_else(|| ApiError::bad_request("group_by must be an array of names"))?;
+        for item in items {
+            let name = item
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("group_by entries must be strings"))?;
+            let id = resolve_attr(catalog, name)?;
+            claim(id, name)?;
+            group_by.push(id);
+            columns.push(name.to_string());
+        }
+    }
+
+    let mut predicates = Vec::new();
+    if let Some(w) = doc.get("where") {
+        let members = w
+            .as_object()
+            .ok_or_else(|| ApiError::bad_request("where must be an object of name: value"))?;
+        for (name, value) in members {
+            let id = resolve_attr(catalog, name)?;
+            claim(id, name)?;
+            let v = value.as_u64().ok_or_else(|| {
+                ApiError::bad_request(format!("predicate on {name:?} must be an integer"))
+            })?;
+            check_domain(catalog, id, name, v)?;
+            predicates.push((id, v));
+        }
+    }
+
+    let mut ranges = Vec::new();
+    if let Some(r) = doc.get("ranges") {
+        let members = r
+            .as_object()
+            .ok_or_else(|| ApiError::bad_request("ranges must be an object of name: [lo, hi]"))?;
+        for (name, value) in members {
+            let id = resolve_attr(catalog, name)?;
+            claim(id, name)?;
+            let pair = value.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                ApiError::bad_request(format!("range on {name:?} must be a [lo, hi] pair"))
+            })?;
+            let (lo, hi) = match (pair[0].as_u64(), pair[1].as_u64()) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => {
+                    return Err(ApiError::bad_request(format!(
+                        "range bounds on {name:?} must be integers"
+                    )))
+                }
+            };
+            if lo > hi {
+                return Err(ApiError::bad_request(format!(
+                    "range on {name:?} has lo {lo} > hi {hi}"
+                )));
+            }
+            check_domain(catalog, id, name, lo)?;
+            check_domain(catalog, id, name, hi)?;
+            ranges.push((id, lo, hi));
+        }
+    }
+
+    if group_by.is_empty() && predicates.is_empty() && ranges.is_empty() {
+        return Err(ApiError::bad_request(
+            "query must name at least one attribute in group_by, where or ranges",
+        ));
+    }
+
+    // Fields are pre-checked disjoint (the `claim` pass), so the struct
+    // literal upholds SliceQuery::new's contract without its panics.
+    let query = SliceQuery { group_by, predicates, ranges };
+
+    // Planability check (covers "bad dimension arity": a group-by set no
+    // materialized view derives). Planned against the current generation;
+    // views are never dropped by refresh, so a plan that exists now exists
+    // in the generation the batch eventually pins.
+    let forest = engine.forest().ok_or_else(|| ApiError::internal("engine not loaded"))?;
+    if let Err(e) = plan_generation_query(&forest.pin(), catalog, &query) {
+        return Err(match e {
+            CtError::Unsupported(msg) => ApiError::bad_request(msg),
+            other => ApiError::internal(format!("planning failed: {other}")),
+        });
+    }
+
+    let format = requested_format(req, &doc)?;
+    Ok(ValidatedQuery { query, columns, format })
+}
+
+fn resolve_attr(catalog: &Catalog, name: &str) -> Result<AttrId, ApiError> {
+    catalog.attr_by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = (0..catalog.attr_count())
+            .map(|i| catalog.attr(AttrId(i as u16)).name.as_str())
+            .collect();
+        ApiError::bad_request(format!(
+            "unknown attribute {name:?} (schema has: {})",
+            known.join(", ")
+        ))
+    })
+}
+
+fn check_domain(catalog: &Catalog, id: AttrId, name: &str, v: u64) -> Result<(), ApiError> {
+    let card = catalog.attr(id).cardinality;
+    if v < 1 || v > card {
+        return Err(ApiError::bad_request(format!(
+            "value {v} out of domain for {name:?} (1..={card})"
+        )));
+    }
+    Ok(())
+}
+
+fn requested_format(req: &Request, doc: &Json) -> Result<Format, ApiError> {
+    if let Some(f) = doc.get("format") {
+        return match f.as_str() {
+            Some("json") => Ok(Format::Json),
+            Some("csv") => Ok(Format::Csv),
+            _ => Err(ApiError::bad_request("format must be \"json\" or \"csv\"")),
+        };
+    }
+    if let Some(f) = req.query_param("format") {
+        return match f {
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            _ => Err(ApiError::bad_request("?format= must be json or csv")),
+        };
+    }
+    if req.header("accept").is_some_and(|a| a.contains("text/csv")) {
+        return Ok(Format::Csv);
+    }
+    Ok(Format::Json)
+}
+
+/// Handles `POST /refresh`: parse the delta, merge-pack the next generation
+/// concurrently with in-flight reads (generation MVCC), report the new
+/// generation number.
+///
+/// Accepted shape:
+/// ```json
+/// {"attrs": ["partkey", "suppkey", "timekey"],
+///  "rows": [[1, 2, 3, 40], [2, 2, 3, 5]]}
+/// ```
+/// where each row lists one key per attribute followed by the measure.
+fn handle_refresh(engine: &CubetreeEngine, req: &Request) -> Result<Response, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    let doc = Json::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("body is not valid JSON: {e}")))?;
+    let catalog = engine.catalog();
+
+    let attr_names = doc
+        .get("attrs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_request("refresh body needs an \"attrs\" array"))?;
+    let mut attrs = Vec::new();
+    for a in attr_names {
+        let name =
+            a.as_str().ok_or_else(|| ApiError::bad_request("attrs entries must be strings"))?;
+        let id = resolve_attr(catalog, name)?;
+        if attrs.contains(&id) {
+            return Err(ApiError::bad_request(format!("duplicate attribute {name:?} in attrs")));
+        }
+        attrs.push(id);
+    }
+    if attrs.is_empty() {
+        return Err(ApiError::bad_request("attrs must not be empty"));
+    }
+
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_request("refresh body needs a \"rows\" array"))?;
+    let mut keys = Vec::with_capacity(rows.len() * attrs.len());
+    let mut measures = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_array().filter(|c| c.len() == attrs.len() + 1).ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "row {i} must be an array of {} keys plus one measure",
+                attrs.len()
+            ))
+        })?;
+        for (j, cell) in cells[..attrs.len()].iter().enumerate() {
+            let v = cell.as_u64().ok_or_else(|| {
+                ApiError::bad_request(format!("row {i} key {j} must be an integer"))
+            })?;
+            let name = &catalog.attr(attrs[j]).name;
+            check_domain(catalog, attrs[j], name, v)?;
+            keys.push(v);
+        }
+        let m = cells[attrs.len()]
+            .as_i64()
+            .ok_or_else(|| ApiError::bad_request(format!("row {i} measure must be an integer")))?;
+        measures.push(m);
+    }
+
+    let delta = Relation::from_fact(attrs, keys, &measures);
+    let applied = delta.len();
+    engine.refresh(&delta).map_err(|e| match e {
+        CtError::InvalidArgument(msg) | CtError::Unsupported(msg) => ApiError::bad_request(msg),
+        other => ApiError::internal(format!("refresh failed: {other}")),
+    })?;
+    let generation = engine
+        .forest()
+        .map(|f| f.generation_number())
+        .ok_or_else(|| ApiError::internal("engine not loaded"))?;
+    Ok(Response::json(
+        200,
+        format!("{{\"generation\": {generation}, \"applied_rows\": {applied}}}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::{AggFn, ViewDef};
+    use cubetree::engine::{CubetreeConfig, RolapEngine};
+
+    fn engine() -> CubetreeEngine {
+        let mut catalog = Catalog::new();
+        let p = catalog.add_attr("partkey", 10);
+        let s = catalog.add_attr("suppkey", 5);
+        let views = vec![
+            ViewDef::new(0, vec![p, s], AggFn::Sum),
+            ViewDef::new(1, vec![s], AggFn::Sum),
+        ];
+        let mut engine = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+        let fact =
+            Relation::from_fact(vec![p, s], vec![1, 1, 2, 2, 3, 1], &[10, 20, 30]);
+        engine.load(&fact).unwrap();
+        engine
+    }
+
+    fn post_query(body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/query".to_string(),
+            query_string: String::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn valid_request_produces_a_typed_query() {
+        let e = engine();
+        let v = validate_query_request(
+            &e,
+            &post_query(r#"{"group_by": ["suppkey"], "where": {"partkey": 3}}"#),
+        )
+        .unwrap();
+        assert_eq!(v.columns, vec!["suppkey".to_string()]);
+        assert_eq!(v.query.group_by.len(), 1);
+        assert_eq!(v.query.predicates, vec![(AttrId(0), 3)]);
+        assert_eq!(v.format, Format::Json);
+    }
+
+    #[test]
+    fn format_precedence_body_over_query_param_over_accept() {
+        let e = engine();
+        let mut req = post_query(r#"{"group_by": ["suppkey"], "format": "csv"}"#);
+        req.query_string = "format=json".to_string();
+        assert_eq!(validate_query_request(&e, &req).unwrap().format, Format::Csv);
+        let mut req = post_query(r#"{"group_by": ["suppkey"]}"#);
+        req.query_string = "format=csv".to_string();
+        req.headers.push(("accept".to_string(), "application/json".to_string()));
+        assert_eq!(validate_query_request(&e, &req).unwrap().format, Format::Csv);
+        let mut req = post_query(r#"{"group_by": ["suppkey"]}"#);
+        req.headers.push(("accept".to_string(), "text/csv".to_string()));
+        assert_eq!(validate_query_request(&e, &req).unwrap().format, Format::Csv);
+    }
+
+    #[test]
+    fn invalid_requests_are_400_with_reasons() {
+        let e = engine();
+        for (body, expect) in [
+            ("not json at all", "not valid JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            ("{}", "at least one attribute"),
+            (r#"{"bogus_key": 1}"#, "unknown key"),
+            (r#"{"group_by": ["nope"]}"#, "unknown attribute"),
+            (r#"{"group_by": "suppkey"}"#, "must be an array"),
+            (r#"{"group_by": [7]}"#, "must be strings"),
+            (r#"{"where": {"partkey": 99}}"#, "out of domain"),
+            (r#"{"where": {"partkey": 0}}"#, "out of domain"),
+            (r#"{"where": {"partkey": 1.5}}"#, "must be an integer"),
+            (r#"{"group_by": ["suppkey"], "where": {"suppkey": 1}}"#, "more than once"),
+            (r#"{"ranges": {"partkey": [5, 2]}}"#, "lo 5 > hi 2"),
+            (r#"{"ranges": {"partkey": [1]}}"#, "[lo, hi] pair"),
+            (r#"{"group_by": ["suppkey"], "format": "xml"}"#, "format must be"),
+        ] {
+            let err = validate_query_request(&e, &post_query(body)).unwrap_err();
+            assert_eq!(err.status, 400, "body {body:?} → {}", err.message);
+            assert!(err.message.contains(expect), "body {body:?} → {}", err.message);
+        }
+    }
+
+    #[test]
+    fn underivable_group_by_is_400_not_panic() {
+        // partkey alone: V{partkey,suppkey} derives it, so that plans; but a
+        // view set without a covering parent must 400. Build an engine whose
+        // only view is V{suppkey}.
+        let mut catalog = Catalog::new();
+        let p = catalog.add_attr("partkey", 10);
+        let s = catalog.add_attr("suppkey", 5);
+        let views = vec![ViewDef::new(0, vec![s], AggFn::Sum)];
+        let mut e = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+        e.load(&Relation::from_fact(vec![p, s], vec![1, 1], &[10])).unwrap();
+        let err = validate_query_request(&e, &post_query(r#"{"group_by": ["partkey"]}"#))
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("no materialized view"));
+    }
+
+    #[test]
+    fn csv_rendering_is_plain_and_crlf() {
+        let rows = vec![
+            QueryRow { key: vec![1], agg: 30.0 },
+            QueryRow { key: vec![2], agg: 0.5 },
+        ];
+        let csv = query_rows_csv(&["suppkey".to_string()], &rows);
+        assert_eq!(csv, "suppkey,agg\r\n1,30\r\n2,0.5\r\n");
+    }
+
+    #[test]
+    fn json_rendering_matches_shape() {
+        let rows = vec![QueryRow { key: vec![1, 2], agg: 7.25 }];
+        let body = query_rows_json(3, &["a".to_string(), "b".to_string()], &rows);
+        assert_eq!(
+            body,
+            "{\"generation\": 3, \"columns\": [\"a\", \"b\", \"agg\"], \
+             \"row_count\": 1, \"rows\": [[1, 2, 7.25]]}"
+        );
+        Json::parse(&body).expect("emitted JSON parses");
+    }
+}

@@ -8,6 +8,7 @@
 //! bit-identical to previous releases.
 
 use ct_common::query::QueryRow;
+use ct_common::stats::percentile_nearest_rank;
 use ct_common::{CtError, Result, SliceQuery};
 use cubetree::engine::{CubetreeEngine, RolapEngine};
 use cubetree::query::execute_generation_query;
@@ -83,13 +84,13 @@ impl BatchStats {
     /// The `p`-th percentile (0–100, nearest rank) of per-query wall-clock
     /// seconds; 0.0 on an empty batch.
     pub fn percentile_wall(&self, p: f64) -> f64 {
-        percentile(self.queries.iter().map(|q| q.wall_secs), p)
+        percentile_nearest_rank(self.queries.iter().map(|q| q.wall_secs), p)
     }
 
     /// The `p`-th percentile (0–100, nearest rank) of per-query simulated
     /// seconds; 0.0 on an empty batch.
     pub fn percentile_sim(&self, p: f64) -> f64 {
-        percentile(self.queries.iter().map(|q| q.sim_secs), p)
+        percentile_nearest_rank(self.queries.iter().map(|q| q.sim_secs), p)
     }
 
     /// `(min, max)` throughput in queries/second over windows of `window`
@@ -112,18 +113,6 @@ impl BatchStats {
             (min, max)
         }
     }
-}
-
-/// Nearest-rank percentile over `values`; defined (0.0) on an empty set so
-/// report code never divides by zero or panics on an empty batch.
-fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
-    let mut v: Vec<f64> = values.collect();
-    if v.is_empty() {
-        return 0.0;
-    }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((p.clamp(0.0, 100.0) / 100.0) * v.len() as f64).ceil() as usize;
-    v[rank.max(1) - 1]
 }
 
 /// FNV-1a over the normalized result rows.

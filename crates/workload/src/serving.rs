@@ -1,0 +1,375 @@
+//! Closed- and open-loop load generation against a running ct-server.
+//!
+//! Each simulated client owns one keep-alive HTTP/1.1 connection over
+//! [`std::net::TcpStream`] and its own deterministic query stream. A
+//! *closed-loop* client sends its next request as soon as the previous
+//! answer arrives (throughput adapts to the server); an *open-loop* client
+//! fires at a fixed arrival rate and measures latency from the *intended*
+//! send time, so queueing delay is charged to the server rather than
+//! silently absorbed (no coordinated omission).
+//!
+//! The generator deliberately does not depend on the `ct-server` crate —
+//! it speaks the wire protocol, which keeps the crate graph acyclic and
+//! means the load generator exercises the same path a real client would.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ct_common::stats::percentile_nearest_rank;
+use ct_common::{AttrId, Catalog, CtError, Result, SliceQuery};
+
+use crate::genq::QueryGenerator;
+
+/// Arrival discipline of the simulated clients.
+#[derive(Clone, Copy, Debug)]
+pub enum LoopMode {
+    /// Send the next request when the previous answer returns.
+    Closed,
+    /// Fire at a fixed aggregate arrival rate (queries/second across all
+    /// clients), measuring latency from the intended send time.
+    Open {
+        /// Aggregate arrival rate in queries per second.
+        rate_qps: f64,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Concurrent clients (threads, one connection each).
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Arrival discipline.
+    pub mode: LoopMode,
+    /// Fraction of requests that drill into the top lattice node (all base
+    /// attributes) instead of a random slice elsewhere in the lattice.
+    pub drilldown_frac: f64,
+    /// Fraction of requests asking for CSV instead of JSON.
+    pub csv_frac: f64,
+    /// Workload seed; client `i` streams queries from `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            clients: 4,
+            requests_per_client: 50,
+            mode: LoopMode::Closed,
+            drilldown_frac: 0.5,
+            csv_frac: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate results of one serving run.
+#[derive(Clone, Debug, Default)]
+pub struct ServingStats {
+    /// Requests sent.
+    pub requests: u64,
+    /// `200` answers.
+    pub ok: u64,
+    /// `429` admission refusals.
+    pub rejected: u64,
+    /// Transport failures and non-200/429 statuses.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run in seconds.
+    pub wall_secs: f64,
+    /// Per-success latency in seconds (closed: send→answer; open:
+    /// intended-send→answer).
+    pub latencies: Vec<f64>,
+}
+
+impl ServingStats {
+    /// Successful answers per wall-clock second.
+    pub fn qps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.ok as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th latency percentile in seconds (nearest rank).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_nearest_rank(self.latencies.iter().copied(), p)
+    }
+}
+
+/// Renders a slice query as a `POST /query` JSON body. Attribute names are
+/// JSON-safe by construction (schema identifiers), so plain quoting works.
+pub fn query_body(catalog: &Catalog, q: &SliceQuery, csv: bool) -> String {
+    let name = |a: &AttrId| format!("\"{}\"", catalog.attr(*a).name);
+    let group: Vec<String> = q.group_by.iter().map(&name).collect();
+    let mut body = format!("{{\"group_by\": [{}]", group.join(", "));
+    if !q.predicates.is_empty() {
+        let preds: Vec<String> =
+            q.predicates.iter().map(|(a, v)| format!("{}: {v}", name(a))).collect();
+        body.push_str(&format!(", \"where\": {{{}}}", preds.join(", ")));
+    }
+    if !q.ranges.is_empty() {
+        let ranges: Vec<String> =
+            q.ranges.iter().map(|(a, lo, hi)| format!("{}: [{lo}, {hi}]", name(a))).collect();
+        body.push_str(&format!(", \"ranges\": {{{}}}", ranges.join(", ")));
+    }
+    if csv {
+        body.push_str(", \"format\": \"csv\"");
+    }
+    body.push('}');
+    body
+}
+
+/// One minimal HTTP/1.1 client connection (keep-alive, `Content-Length`
+/// framing only — exactly what ct-server speaks).
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+/// Status code and body of one exchange.
+#[derive(Debug)]
+pub struct HttpReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Response headers (lower-cased names).
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpReply {
+    /// First header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+impl HttpClient {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { reader: BufReader::new(stream) })
+    }
+
+    /// Sends one request and reads the reply.
+    ///
+    /// # Errors
+    /// [`CtError::Io`] on transport failure, [`CtError::Corrupt`] on a
+    /// reply the framing parser cannot make sense of.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> Result<HttpReply> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: ct-server\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        self.read_reply()
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(CtError::corrupt("server closed connection mid-reply"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_reply(&mut self) -> Result<HttpReply> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| CtError::corrupt(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| CtError::corrupt(format!("bad content-length {value:?}")))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(HttpReply { status, body, headers })
+    }
+}
+
+/// Runs the configured client fleet against `addr` and aggregates stats.
+///
+/// `base` is the base-attribute set queries draw from (the same set the
+/// engine's views were selected over).
+///
+/// # Errors
+/// Fails only if a client thread cannot connect at start-up; per-request
+/// transport errors are counted in [`ServingStats::errors`].
+pub fn run_serving(
+    addr: &str,
+    catalog: &Catalog,
+    base: Vec<AttrId>,
+    cfg: &ServingConfig,
+) -> Result<ServingStats> {
+    let started = Instant::now();
+    let per_client_interval = match cfg.mode {
+        LoopMode::Closed => None,
+        LoopMode::Open { rate_qps } => {
+            let per_client = (rate_qps / cfg.clients.max(1) as f64).max(1e-6);
+            Some(Duration::from_secs_f64(1.0 / per_client))
+        }
+    };
+    let mut stats = ServingStats::default();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for client in 0..cfg.clients {
+            let base = base.clone();
+            handles.push(scope.spawn(move || -> Result<ServingStats> {
+                client_loop(addr, catalog, base, cfg, client, per_client_interval)
+            }));
+        }
+        for h in handles {
+            let client_stats = h.join().expect("client thread panicked")?;
+            stats.requests += client_stats.requests;
+            stats.ok += client_stats.ok;
+            stats.rejected += client_stats.rejected;
+            stats.errors += client_stats.errors;
+            stats.latencies.extend(client_stats.latencies);
+        }
+        Ok(())
+    })?;
+    stats.wall_secs = started.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+fn client_loop(
+    addr: &str,
+    catalog: &Catalog,
+    base: Vec<AttrId>,
+    cfg: &ServingConfig,
+    client: usize,
+    interval: Option<Duration>,
+) -> Result<ServingStats> {
+    let mut stats = ServingStats::default();
+    let mut client_conn = HttpClient::connect(addr)?;
+    let top_mask = (1usize << base.len()) - 1;
+    let mut generator = QueryGenerator::new(catalog, base, cfg.seed + client as u64);
+    // A cheap deterministic stream for the drilldown/CSV mix decisions,
+    // independent of the query stream so the mix is stable per request
+    // index whatever the queries are.
+    let mut mix = cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(client as u64 + 1));
+    let mut next_mix = move || {
+        mix ^= mix << 13;
+        mix ^= mix >> 7;
+        mix ^= mix << 17;
+        (mix >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let started = Instant::now();
+    for i in 0..cfg.requests_per_client {
+        let q = if next_mix() < cfg.drilldown_frac {
+            generator.next_query_on(top_mask)
+        } else {
+            generator.next_query()
+        };
+        let csv = next_mix() < cfg.csv_frac;
+        let body = query_body(catalog, &q, csv);
+        // Open loop: wait for the scheduled arrival; latency clock starts
+        // at the *intended* send time even if the previous answer was late.
+        let reference = match interval {
+            Some(gap) => {
+                let due = gap * i as u32;
+                if let Some(sleep) = due.checked_sub(started.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+                started + due
+            }
+            None => Instant::now(),
+        };
+        stats.requests += 1;
+        match client_conn.request("POST", "/query", &body) {
+            Ok(reply) if reply.status == 200 => {
+                stats.ok += 1;
+                stats.latencies.push(reference.elapsed().as_secs_f64());
+            }
+            Ok(reply) if reply.status == 429 => stats.rejected += 1,
+            Ok(_) => stats.errors += 1,
+            Err(_) => {
+                stats.errors += 1;
+                // One reconnect attempt; a second failure ends the client.
+                match HttpClient::connect(addr) {
+                    Ok(fresh) => client_conn = fresh,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> (Catalog, Vec<AttrId>) {
+        let mut c = Catalog::new();
+        let p = c.add_attr("partkey", 10);
+        let s = c.add_attr("suppkey", 5);
+        (c, vec![p, s])
+    }
+
+    #[test]
+    fn query_body_renders_every_clause() {
+        let (c, base) = catalog();
+        let q = SliceQuery::new(vec![base[1]], vec![(base[0], 3)]);
+        assert_eq!(
+            query_body(&c, &q, false),
+            r#"{"group_by": ["suppkey"], "where": {"partkey": 3}}"#
+        );
+        let ranged = SliceQuery::new(vec![base[1]], vec![]).with_range(base[0], 2, 5);
+        assert_eq!(
+            query_body(&c, &ranged, true),
+            r#"{"group_by": ["suppkey"], "ranges": {"partkey": [2, 5]}, "format": "csv"}"#
+        );
+    }
+
+    #[test]
+    fn stats_aggregate_and_percentiles() {
+        let stats = ServingStats {
+            requests: 4,
+            ok: 4,
+            rejected: 0,
+            errors: 0,
+            wall_secs: 2.0,
+            latencies: vec![0.004, 0.001, 0.003, 0.002],
+        };
+        assert_eq!(stats.qps(), 2.0);
+        assert_eq!(stats.percentile(50.0), 0.002);
+        assert_eq!(stats.percentile(100.0), 0.004);
+        assert_eq!(ServingStats::default().qps(), 0.0);
+        assert_eq!(ServingStats::default().percentile(99.0), 0.0);
+    }
+}

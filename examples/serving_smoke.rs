@@ -1,0 +1,84 @@
+//! Serving smoke: start a real ct-server on an ephemeral loopback port,
+//! run one JSON query, one CSV query and one refresh through it, then shut
+//! down cleanly. Exercised by ci.sh; exits non-zero (panics) on any
+//! unexpected status or mismatched answer.
+//!
+//! Run with: `cargo run --release --example serving_smoke`
+
+use cubetrees_repro::server::{CtServer, ServerConfig};
+use cubetrees_repro::workload::serving::HttpClient;
+use cubetrees_repro::{
+    AggFn, Catalog, CubetreeConfig, CubetreeEngine, Relation, RolapEngine, ViewDef,
+};
+use std::sync::Arc;
+
+fn main() {
+    // A small two-dimensional warehouse with the full view materialized.
+    let mut catalog = Catalog::new();
+    let partkey = catalog.add_attr("partkey", 20);
+    let suppkey = catalog.add_attr("suppkey", 8);
+    let views = vec![
+        ViewDef::new(0, vec![partkey, suppkey], AggFn::Sum),
+        ViewDef::new(1, vec![suppkey], AggFn::Sum),
+    ];
+    let mut keys = Vec::new();
+    let mut quantities = Vec::new();
+    let mut x: u64 = 7;
+    for _ in 0..2_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.extend_from_slice(&[x % 20 + 1, (x >> 13) % 8 + 1]);
+        quantities.push(((x >> 29) % 30) as i64 + 1);
+    }
+    let fact = Relation::from_fact(vec![partkey, suppkey], keys, &quantities);
+    let mut engine = CubetreeEngine::new(catalog, CubetreeConfig::new(views)).unwrap();
+    engine.load(&fact).unwrap();
+
+    // Ephemeral port; the handle reports where the OS put us.
+    let server = CtServer::start(Arc::new(engine), ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    println!("serving on http://{addr}");
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    let health = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(health.status, 200, "{}", health.text());
+    println!("healthz   → {}", health.text());
+
+    let json = client
+        .request("POST", "/query", r#"{"group_by": ["suppkey"], "where": {"partkey": 3}}"#)
+        .unwrap();
+    assert_eq!(json.status, 200, "{}", json.text());
+    println!("json query → {}", json.text());
+
+    let csv = client
+        .request(
+            "POST",
+            "/query",
+            r#"{"group_by": ["suppkey"], "where": {"partkey": 3}, "format": "csv"}"#,
+        )
+        .unwrap();
+    assert_eq!(csv.status, 200, "{}", csv.text());
+    assert_eq!(csv.header("content-type"), Some("text/csv"));
+    println!("csv query  →\n{}", csv.text());
+
+    let refresh = client
+        .request(
+            "POST",
+            "/refresh",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[3, 1, 100], [3, 2, 50]]}"#,
+        )
+        .unwrap();
+    assert_eq!(refresh.status, 200, "{}", refresh.text());
+    assert!(refresh.text().contains("\"generation\": 1"), "{}", refresh.text());
+    println!("refresh    → {}", refresh.text());
+
+    // The same query now answers from generation 1 with the delta folded in.
+    let after = client
+        .request("POST", "/query", r#"{"group_by": ["suppkey"], "where": {"partkey": 3}}"#)
+        .unwrap();
+    assert_eq!(after.status, 200, "{}", after.text());
+    assert!(after.text().contains("\"generation\": 1"), "{}", after.text());
+    println!("post-refresh → {}", after.text());
+
+    server.join();
+    println!("clean shutdown");
+}

@@ -19,6 +19,7 @@
 //! | [`tpcd`] | TPC-D-like generator (DBGEN substitute) |
 //! | [`core`] | SelectMapping, the Cubetree forest, both engines |
 //! | [`workload`] | random slice queries, batch runner, the paper's §3 setup |
+//! | [`server`] | HTTP/1.1 serving layer with admission-controlled batching |
 
 pub use ct_btree as btree;
 pub use ct_common as common;
@@ -26,6 +27,7 @@ pub use ct_cube as cube;
 pub use ct_heap as heap;
 pub use ct_obs as obs;
 pub use ct_rtree as rtree;
+pub use ct_server as server;
 pub use ct_storage as storage;
 pub use ct_tpcd as tpcd;
 pub use ct_workload as workload;
