@@ -56,11 +56,18 @@ pub struct QueryAnswer {
     pub rows: Vec<QueryRow>,
 }
 
-/// Submission refused because the queue is at `max_depth`.
+/// Submission refused without enqueueing.
 #[derive(Debug)]
-pub struct Overloaded {
-    /// Seconds the client should wait before retrying.
-    pub retry_after_secs: u64,
+pub enum SubmitError {
+    /// The queue is at `max_depth`; the HTTP layer answers `429`.
+    Overloaded {
+        /// Seconds the client should wait before retrying.
+        retry_after_secs: u64,
+    },
+    /// [`Admission::shutdown`] has been called: the batch former is (or
+    /// soon will be) gone, so an enqueued query would never be answered and
+    /// its submitter would block forever. The HTTP layer answers `503`.
+    ShuttingDown,
 }
 
 struct Pending {
@@ -112,17 +119,28 @@ impl Admission {
     /// execution-error message) once the batch containing it has run.
     ///
     /// # Errors
-    /// [`Overloaded`] when the queue is at `max_depth`.
+    /// [`SubmitError::Overloaded`] when the queue is at `max_depth`;
+    /// [`SubmitError::ShuttingDown`] after [`Admission::shutdown`].
     pub fn submit(
         &self,
         query: SliceQuery,
-    ) -> Result<mpsc::Receiver<Result<QueryAnswer, String>>, Overloaded> {
+    ) -> Result<mpsc::Receiver<Result<QueryAnswer, String>>, SubmitError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            // Checked under the queue lock: the batcher only exits after
+            // observing shutdown && empty under this same lock, so any query
+            // admitted here is guaranteed to be drained before exit (never
+            // enqueued into a queue nobody will ever service).
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.rejected.inc();
+                return Err(SubmitError::ShuttingDown);
+            }
             if queue.len() >= self.config.max_depth {
                 self.rejected.inc();
-                return Err(Overloaded { retry_after_secs: self.config.retry_after_secs });
+                return Err(SubmitError::Overloaded {
+                    retry_after_secs: self.config.retry_after_secs,
+                });
             }
             queue.push_back(Pending { query, enqueued_at: Instant::now(), reply: tx });
             self.depth.set(queue.len() as f64);
@@ -282,7 +300,10 @@ mod tests {
         let rx1 = admission.submit(q.clone()).unwrap();
         let rx2 = admission.submit(q.clone()).unwrap();
         let refused = admission.submit(q.clone()).unwrap_err();
-        assert_eq!(refused.retry_after_secs, 7);
+        assert!(
+            matches!(refused, SubmitError::Overloaded { retry_after_secs: 7 }),
+            "{refused:?}"
+        );
         assert!(rx1.recv().unwrap().is_ok());
         assert!(rx2.recv().unwrap().is_ok());
         admission.shutdown();
@@ -303,5 +324,16 @@ mod tests {
         for rx in receivers {
             assert!(rx.recv().unwrap().is_ok(), "queued query dropped on shutdown");
         }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused_not_stranded() {
+        let engine = tiny_engine(1);
+        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        admission.shutdown();
+        // The batcher may already be gone; a submit that enqueued anyway
+        // would block its caller in recv() forever. It must refuse instead.
+        let refused = admission.submit(query_for(&engine)).unwrap_err();
+        assert!(matches!(refused, SubmitError::ShuttingDown), "{refused:?}");
     }
 }

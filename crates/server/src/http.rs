@@ -8,6 +8,7 @@
 //! panic or an unbounded allocation.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Maximum accepted request-line length in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -17,23 +18,111 @@ pub const MAX_HEADERS: usize = 100;
 pub const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Maximum accepted request-body length in bytes.
 pub const MAX_BODY: usize = 32 * 1024 * 1024;
+/// How long a request that has started arriving may stall (read timeouts
+/// with no new bytes) before the server gives up with `408`.
+pub const MAX_REQUEST_STALL: Duration = Duration::from_secs(10);
 
-/// A parse failure, carrying the HTTP status the server should answer with.
+/// A failure while reading one request.
 #[derive(Debug)]
-pub struct HttpError {
-    /// Status code to respond with (`400` or `413`).
-    pub status: u16,
-    /// Human-readable reason, sent back in the error body.
-    pub message: String,
+pub enum HttpError {
+    /// Protocol violation; answer with this status (`400`/`408`/`413`) and
+    /// message, then close.
+    Protocol {
+        /// Status code to respond with.
+        status: u16,
+        /// Human-readable reason, sent back in the error body.
+        message: String,
+    },
+    /// I/O failure on the underlying stream, with its [`std::io::ErrorKind`]
+    /// preserved so the connection loop can tell an idle keep-alive poll
+    /// (`WouldBlock`/`TimedOut` before any request byte) from a dead peer.
+    Io(std::io::Error),
 }
 
 impl HttpError {
     fn bad(message: impl Into<String>) -> Self {
-        HttpError { status: 400, message: message.into() }
+        HttpError::Protocol { status: 400, message: message.into() }
     }
 
     fn too_large(message: impl Into<String>) -> Self {
-        HttpError { status: 413, message: message.into() }
+        HttpError::Protocol { status: 413, message: message.into() }
+    }
+
+    fn stalled(what: &str) -> Self {
+        HttpError::Protocol {
+            status: 408,
+            message: format!(
+                "gave up waiting for the rest of the {what} after {}s",
+                MAX_REQUEST_STALL.as_secs()
+            ),
+        }
+    }
+
+    /// Whether this is a read timeout on an idle connection (no byte of the
+    /// current request consumed yet). On Linux a socket read timeout
+    /// surfaces as [`std::io::ErrorKind::WouldBlock`], on other platforms as
+    /// `TimedOut`; both mean "no data yet", not "peer is gone".
+    pub fn is_idle_timeout(&self) -> bool {
+        matches!(self, HttpError::Io(e) if is_timeout_kind(e))
+    }
+
+    /// Status code the server should answer with, when answering is useful
+    /// (I/O errors get the connection dropped instead).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Protocol { status, .. } => *status,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// Human-readable reason.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Protocol { message, .. } => message.clone(),
+            HttpError::Io(e) => format!("read error: {e}"),
+        }
+    }
+}
+
+fn is_timeout_kind(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Read progress of the request currently being parsed, shared by the
+/// request-line, header and body readers. Once any byte of the request has
+/// been consumed, read timeouts are retried here (bounded by
+/// [`MAX_REQUEST_STALL`]) instead of surfacing — surfacing would make the
+/// connection loop restart parsing mid-stream and lose the consumed prefix.
+struct ReadProgress {
+    /// When the first byte of this request arrived; `None` while idle.
+    started_at: Option<Instant>,
+}
+
+impl ReadProgress {
+    fn new() -> Self {
+        ReadProgress { started_at: None }
+    }
+
+    fn mark_started(&mut self) {
+        self.started_at.get_or_insert_with(Instant::now);
+    }
+
+    /// Classifies a `fill_buf` error: `Ok(())` means "timeout mid-request,
+    /// retry the read"; `Err` is fatal (idle-poll timeout, stall deadline
+    /// exceeded, or a real I/O failure).
+    fn on_read_error(&self, e: std::io::Error, what: &str) -> Result<(), HttpError> {
+        if !is_timeout_kind(&e) {
+            return Err(HttpError::Io(e));
+        }
+        match self.started_at {
+            // Idle keep-alive poll: no request bytes yet, let the caller
+            // check for shutdown and come back.
+            None => Err(HttpError::Io(e)),
+            Some(started) if started.elapsed() >= MAX_REQUEST_STALL => {
+                Err(HttpError::stalled(what))
+            }
+            Some(_) => Ok(()),
+        }
     }
 }
 
@@ -76,16 +165,21 @@ impl Request {
 /// trailing `\r`. Returns `None` on clean EOF before any byte.
 fn read_line(
     stream: &mut impl BufRead,
+    progress: &mut ReadProgress,
     limit: usize,
     what: &str,
 ) -> Result<Option<String>, HttpError> {
     let mut buf = Vec::new();
     loop {
-        let chunk = stream
-            .fill_buf()
-            .map_err(|e| HttpError::bad(format!("read error in {what}: {e}")))?;
+        let chunk = match stream.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) => {
+                progress.on_read_error(e, what)?;
+                continue;
+            }
+        };
         if chunk.is_empty() {
-            if buf.is_empty() {
+            if buf.is_empty() && progress.started_at.is_none() {
                 return Ok(None);
             }
             return Err(HttpError::bad(format!("connection closed mid-{what}")));
@@ -96,6 +190,7 @@ fn read_line(
             }
             buf.extend_from_slice(&chunk[..nl]);
             stream.consume(nl + 1);
+            progress.mark_started();
             if buf.last() == Some(&b'\r') {
                 buf.pop();
             }
@@ -106,6 +201,7 @@ fn read_line(
         let n = chunk.len();
         buf.extend_from_slice(chunk);
         stream.consume(n);
+        progress.mark_started();
         if buf.len() > limit {
             return Err(HttpError::too_large(format!("{what} exceeds {limit} bytes")));
         }
@@ -118,10 +214,19 @@ fn read_line(
 /// requests (the normal end of a keep-alive session).
 ///
 /// # Errors
-/// [`HttpError`] with status 400 for malformed framing and 413 for
-/// over-limit request lines, headers or bodies.
+/// [`HttpError::Protocol`] with status 400 for malformed framing, 408 for a
+/// request that stalls mid-transfer, and 413 for over-limit request lines,
+/// headers or bodies. [`HttpError::Io`] for stream failures — including
+/// read timeouts before the first byte of a request, which callers should
+/// treat as an idle keep-alive poll ([`HttpError::is_idle_timeout`]), not a
+/// client mistake. A timeout *after* the first byte is retried internally
+/// so a request whose bytes straddle a read-timeout window is never
+/// half-discarded.
 pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(stream, MAX_REQUEST_LINE, "request line")? else {
+    let mut progress = ReadProgress::new();
+    let Some(request_line) =
+        read_line(stream, &mut progress, MAX_REQUEST_LINE, "request line")?
+    else {
         return Ok(None);
     };
     let mut parts = request_line.split(' ');
@@ -144,7 +249,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(stream, MAX_HEADER_LINE, "header")?
+        let line = read_line(stream, &mut progress, MAX_HEADER_LINE, "header")?
             .ok_or_else(|| HttpError::bad("connection closed inside headers"))?;
         if line.is_empty() {
             break;
@@ -174,9 +279,13 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         body.resize(len, 0);
         let mut read = 0;
         while read < len {
-            let chunk = stream
-                .fill_buf()
-                .map_err(|e| HttpError::bad(format!("read error in body: {e}")))?;
+            let chunk = match stream.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) => {
+                    progress.on_read_error(e, "body")?;
+                    continue;
+                }
+            };
             if chunk.is_empty() {
                 return Err(HttpError::bad("connection closed mid-body"));
             }
@@ -267,6 +376,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -330,23 +440,104 @@ mod tests {
             b"GET /x HTTP/1.1\r\nincomplete",
         ] {
             let err = parse(bad).unwrap_err();
-            assert_eq!(err.status, 400, "wanted 400 for {:?}", String::from_utf8_lossy(bad));
+            assert_eq!(err.status(), 400, "wanted 400 for {:?}", String::from_utf8_lossy(bad));
         }
     }
 
     #[test]
     fn limits_yield_413() {
         let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
-        assert_eq!(parse(long_line.as_bytes()).unwrap_err().status, 413);
+        assert_eq!(parse(long_line.as_bytes()).unwrap_err().status(), 413);
         let huge_body =
             format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
-        assert_eq!(parse(huge_body.as_bytes()).unwrap_err().status, 413);
+        assert_eq!(parse(huge_body.as_bytes()).unwrap_err().status(), 413);
         let mut many_headers = String::from("GET /x HTTP/1.1\r\n");
         for i in 0..=MAX_HEADERS {
             many_headers.push_str(&format!("h{i}: v\r\n"));
         }
         many_headers.push_str("\r\n");
-        assert_eq!(parse(many_headers.as_bytes()).unwrap_err().status, 413);
+        assert_eq!(parse(many_headers.as_bytes()).unwrap_err().status(), 413);
+    }
+
+    /// A scripted [`BufRead`] that interleaves data chunks with read
+    /// timeouts, mimicking a socket whose request bytes straddle the
+    /// connection loop's read-timeout window.
+    enum Event {
+        Timeout,
+        Data(&'static [u8]),
+    }
+
+    struct StutteringStream {
+        script: std::collections::VecDeque<Event>,
+        current: Vec<u8>,
+    }
+
+    impl StutteringStream {
+        fn new(script: Vec<Event>) -> Self {
+            StutteringStream { script: script.into_iter().collect(), current: Vec::new() }
+        }
+    }
+
+    impl std::io::Read for StutteringStream {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("read_request only uses fill_buf/consume")
+        }
+    }
+
+    impl BufRead for StutteringStream {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.current.is_empty() {
+                match self.script.pop_front() {
+                    Some(Event::Timeout) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "Resource temporarily unavailable (os error 11)",
+                        ));
+                    }
+                    Some(Event::Data(d)) => self.current = d.to_vec(),
+                    None => {}
+                }
+            }
+            Ok(&self.current)
+        }
+
+        fn consume(&mut self, n: usize) {
+            self.current.drain(..n);
+        }
+    }
+
+    #[test]
+    fn timeouts_mid_request_do_not_lose_the_prefix() {
+        // Timeouts strike mid-request-line, mid-headers and mid-body; the
+        // parser must keep waiting (not restart and parse garbage).
+        let mut stream = StutteringStream::new(vec![
+            Event::Data(b"POST /q HT"),
+            Event::Timeout,
+            Event::Data(b"TP/1.1\r\nContent-"),
+            Event::Timeout,
+            Event::Data(b"Length: 4\r\n\r\nab"),
+            Event::Timeout,
+            Event::Data(b"cd"),
+        ]);
+        let req = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/q");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn timeout_before_any_byte_is_an_idle_poll() {
+        let mut stream = StutteringStream::new(vec![Event::Timeout]);
+        let err = read_request(&mut stream).unwrap_err();
+        assert!(err.is_idle_timeout(), "{err:?}");
+        // The same kind mid-request is NOT an idle poll (it is retried
+        // internally, so it never even surfaces as Io).
+        let mut stream = StutteringStream::new(vec![
+            Event::Data(b"GET /x HT"),
+            Event::Timeout,
+            Event::Data(b"TP/1.1\r\n\r\n"),
+        ]);
+        assert!(read_request(&mut stream).unwrap().is_some());
     }
 
     #[test]

@@ -171,6 +171,10 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
                 if state.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // Back off before retrying: accept errors can be persistent
+                // (EMFILE under thread-per-connection), and an immediate
+                // retry would busy-spin a core at 100%.
+                std::thread::sleep(Duration::from_millis(20));
                 continue;
             }
         };
@@ -204,13 +208,18 @@ fn connection_loop(stream: TcpStream, state: Arc<ServerState>) {
         let req = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean EOF between requests
-            Err(e) if is_timeout_message(&e.message) => continue,
+            // Idle keep-alive poll (read timeout before any request byte):
+            // loop around so the stop flag is rechecked.
+            Err(e) if e.is_idle_timeout() => continue,
+            // Other stream failures (reset, broken pipe): the peer is gone,
+            // so answering is pointless — just drop the connection.
+            Err(http::HttpError::Io(_)) => return,
             Err(e) => {
                 requests.inc();
                 recorder.add("server.http.status_4xx", 1);
                 let resp = Response::json(
-                    e.status,
-                    format!("{{\"error\": {}}}", json::escape(&e.message)),
+                    e.status(),
+                    format!("{{\"error\": {}}}", json::escape(&e.message())),
                 );
                 let _ = resp.write(reader.get_mut(), false);
                 return;
@@ -235,13 +244,6 @@ fn connection_loop(stream: TcpStream, state: Arc<ServerState>) {
             return;
         }
     }
-}
-
-/// Whether an [`http::HttpError`] wraps a read timeout (idle keep-alive
-/// poll) rather than real peer bytes. The message embeds the
-/// [`std::io::Error`] display, which names the timeout kinds.
-fn is_timeout_message(message: &str) -> bool {
-    message.contains("timed out") || message.contains("would block")
 }
 
 #[cfg(test)]

@@ -160,12 +160,18 @@ fn handle_query(
     };
     let rx = match admission.submit(validated.query) {
         Ok(rx) => rx,
-        Err(overloaded) => {
+        Err(crate::admission::SubmitError::Overloaded { retry_after_secs }) => {
             return Response::json(
                 429,
                 "{\"error\": \"admission queue full, retry later\"}".to_string(),
             )
-            .with_header("retry-after", overloaded.retry_after_secs.to_string());
+            .with_header("retry-after", retry_after_secs.to_string());
+        }
+        Err(crate::admission::SubmitError::ShuttingDown) => {
+            return Response::json(
+                503,
+                "{\"error\": \"server is shutting down\"}".to_string(),
+            );
         }
     };
     match rx.recv() {
