@@ -44,3 +44,17 @@ cargo run -q --release --offline --example serving_smoke > /dev/null
 # query errors. BENCH_serving.json records qps and tail latencies.
 cargo run -q --release --offline -p ct-bench --bin bench_serving -- \
   --sf 0.01 --queries 160 --threads 4 --json BENCH_serving.json > /dev/null
+# Delta-tier gates: tree+delta answers must equal a rebuilt base∪delta
+# engine across compaction, and concurrent /ingest + /query + merge-pack
+# must produce zero 5xx with monotonic visibility and an exact drained
+# total on shutdown.
+cargo test -q --offline --test ingest_delta --test ingest_stress
+# Ingest smoke: ephemeral-port server, rows visible to the next query at
+# generation 0, post-compaction answer bit-identical, clean drain.
+cargo run -q --release --offline --example ingest_smoke > /dev/null
+# Streaming ingestion baseline: /ingest ack throughput vs the Table 7
+# batch-refresh path; exits non-zero on any invariant failure (freshness,
+# bit-identity after compaction, shutdown drain) or if the streaming/refresh
+# throughput ratio drops below results/bench_ingest_baseline.json.
+cargo run -q --release --offline -p ct-bench --bin bench_ingest -- \
+  --sf 0.01 --threads 2 --json BENCH_ingest.json > /dev/null

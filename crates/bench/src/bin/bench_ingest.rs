@@ -1,0 +1,316 @@
+//! Streaming ingestion benchmark: freshness vs throughput against the
+//! batch-refresh baseline (the Table 7 merge-pack path).
+//!
+//! A real ct-server on loopback absorbs the Table 7 increment through
+//! `POST /ingest` in small batches; every acknowledged row is queryable
+//! immediately, while the forest generation stays untouched (no merge-pack
+//! ran). The same increment applied to a second engine via the batch
+//! `update()` path measures what the rows cost — and how stale they stay —
+//! when freshness waits for a full merge-pack refresh.
+//!
+//! Gates (exit non-zero on violation):
+//! * zero transport/5xx errors on the ingest path;
+//! * acknowledged rows are visible *before* any compaction (generation 0),
+//!   and the streamed grand total matches base ∪ increment exactly;
+//! * after compaction, every probe answers bit-identically to the
+//!   batch-refreshed engine (same merge-pack, different feeding);
+//! * streaming row throughput ≥ the checked-in baseline ratio times the
+//!   batch-refresh row throughput (`results/bench_ingest_baseline.json`).
+//!
+//! Default output `BENCH_ingest.json`.
+
+use ct_bench::experiments::estimate_data_bytes;
+use ct_bench::report::{fmt_ratio, fmt_secs, Report};
+use ct_bench::BenchArgs;
+use ct_common::query::{normalize_rows, QueryRow};
+use ct_common::stats::percentile_nearest_rank;
+use ct_common::{AttrId, SliceQuery};
+use ct_server::compactor::IngestConfig;
+use ct_server::json::Json;
+use ct_server::{CtServer, ServerConfig};
+use ct_workload::paper_configs;
+use ct_workload::serving::{query_body, HttpClient};
+use cubetree::delta::DeltaConfig;
+use cubetree::engine::{CubetreeEngine, RolapEngine};
+use ct_tpcd::{TpcdConfig, TpcdWarehouse};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATCHES: usize = 20;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let w = TpcdWarehouse::new(TpcdConfig { scale_factor: args.sf, seed: args.seed });
+    let fact = w.generate_fact();
+    let increment = w.generate_increment(0.1);
+    let setup = paper_configs(&w);
+    let pool = args.pool_pages(estimate_data_bytes(fact.len() as u64));
+    let a = w.attrs();
+    let probes: Vec<SliceQuery> = vec![
+        SliceQuery::new(vec![a.partkey], vec![]),
+        SliceQuery::new(vec![a.suppkey], vec![]),
+        SliceQuery::new(vec![a.custkey], vec![]),
+        SliceQuery::new(vec![a.partkey, a.suppkey], vec![]),
+        SliceQuery::new(vec![a.suppkey], vec![(a.partkey, 3)]),
+    ];
+
+    let build = |label: &str| -> CubetreeEngine {
+        let mut cfg = setup.cubetree.clone().with_threads(args.threads);
+        cfg.pool_pages = pool;
+        cfg.recorder = ct_obs::Recorder::enabled();
+        let mut engine =
+            CubetreeEngine::new(w.catalog().clone(), cfg).expect("cubetree engine");
+        engine.load(&fact).unwrap_or_else(|e| panic!("{label} load: {e}"));
+        engine
+    };
+
+    // Streaming engine behind a real server. Thresholds are set beyond the
+    // run so *no* background compaction fires: phase 1 measures pure
+    // memtable freshness.
+    let streaming = Arc::new(build("streaming"));
+    let server_cfg = ServerConfig {
+        ingest: IngestConfig {
+            delta: DeltaConfig {
+                max_rows: u64::MAX,
+                max_bytes: u64::MAX,
+                max_age: Duration::from_secs(3600),
+            },
+            check_interval: Duration::from_millis(50),
+            ..IngestConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = CtServer::start(Arc::clone(&streaming), server_cfg).expect("start server");
+    let addr = server.addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    // Batch-refresh reference: same engine, fed the same rows through the
+    // Table 7 `update()` merge-pack instead of the wire.
+    let mut batch = build("batch");
+
+    // ---- Phase 1: stream the increment, measure ack latency. ----
+    let arity = increment.attrs.len();
+    let attr_names: Vec<String> =
+        increment.attrs.iter().map(|id| format!("\"{}\"", w.catalog().attr(*id).name)).collect();
+    let rows_total = increment.len();
+    let per_batch = rows_total.div_ceil(BATCHES);
+    let mut ack_secs: Vec<f64> = Vec::with_capacity(BATCHES);
+    let mut ingest_errors = 0u64;
+    let stream_started = Instant::now();
+    for chunk in 0..BATCHES {
+        let lo = chunk * per_batch;
+        let hi = (lo + per_batch).min(rows_total);
+        if lo >= hi {
+            break;
+        }
+        let mut body =
+            format!("{{\"attrs\": [{}], \"rows\": [", attr_names.join(", "));
+        for r in lo..hi {
+            if r > lo {
+                body.push_str(", ");
+            }
+            body.push('[');
+            for k in &increment.keys[r * arity..(r + 1) * arity] {
+                body.push_str(&k.to_string());
+                body.push_str(", ");
+            }
+            body.push_str(&increment.states[r].sum.to_string());
+            body.push(']');
+        }
+        body.push_str("]}");
+        let t0 = Instant::now();
+        match client.request("POST", "/ingest", &body) {
+            Ok(reply) if reply.status == 200 => ack_secs.push(t0.elapsed().as_secs_f64()),
+            Ok(reply) => {
+                eprintln!("ingest batch {chunk}: status {} {}", reply.status, reply.text());
+                ingest_errors += 1;
+            }
+            Err(e) => {
+                eprintln!("ingest batch {chunk}: transport error {e}");
+                ingest_errors += 1;
+            }
+        }
+    }
+    let stream_wall = stream_started.elapsed().as_secs_f64();
+
+    // ---- Freshness check: everything visible, zero merge-pack I/O. ----
+    let generation_after_stream =
+        streaming.forest().expect("loaded").generation_number();
+    let expect_total: i64 = fact.states.iter().map(|s| s.sum).sum::<i64>()
+        + increment.states.iter().map(|s| s.sum).sum::<i64>();
+    let http_total = grand_total(&mut client, &w, a.suppkey);
+    let visible_pre_compaction = http_total == expect_total as f64;
+    // The batch engine is still stale: it answers base-only until refreshed.
+    let stale_total: f64 = batch
+        .query(&SliceQuery::new(vec![a.suppkey], vec![]))
+        .expect("stale probe")
+        .iter()
+        .map(|r| r.agg)
+        .sum();
+
+    // ---- Phase 2: the batch-refresh baseline (Table 7 path). ----
+    let refresh_started = Instant::now();
+    batch.update(&increment).expect("batch refresh");
+    let refresh_wall = refresh_started.elapsed().as_secs_f64();
+
+    // ---- Phase 3: compact the delta tier; answers must be bit-identical
+    // to the batch-refreshed engine on every probe. ----
+    let compact_started = Instant::now();
+    assert!(streaming.compact_delta().expect("compact"), "tier had rows to compact");
+    let compact_wall = compact_started.elapsed().as_secs_f64();
+    let mut mismatches = 0usize;
+    for q in &probes {
+        let over_http = http_rows(&mut client, &w, q);
+        let reference = normalize_rows(batch.query(q).expect("batch probe"));
+        if over_http != reference {
+            eprintln!("post-compaction mismatch on {q:?}");
+            mismatches += 1;
+        }
+    }
+    let drained = streaming.delta_stats().expect("stats").resident_rows() == 0;
+    server.join();
+
+    // ---- Report. ----
+    let streamed_rows = (ack_secs.len() * per_batch).min(rows_total) as u64;
+    let stream_rps = streamed_rows as f64 / stream_wall.max(1e-9);
+    let refresh_rps = rows_total as f64 / refresh_wall.max(1e-9);
+    let baseline = read_baseline_ratio("results/bench_ingest_baseline.json");
+
+    let mut report = Report::new(
+        "bench_ingest",
+        "streaming delta-tier ingestion vs Table 7 batch refresh",
+        args.sf,
+    );
+    report.meta("base rows", fact.len());
+    report.meta("increment rows", rows_total);
+    report.meta("ingest batches", ack_secs.len());
+    report.meta("threads", args.threads);
+    report.meta("baseline min throughput ratio", baseline);
+
+    let p = |v: &[f64], pc: f64| percentile_nearest_rank(v.iter().copied(), pc);
+    let s = report.section(
+        "freshness vs throughput",
+        &["path", "rows/s", "visibility latency p50 ms", "p99 ms", "merge-pack I/O before visible"],
+    );
+    s.row(vec![
+        "streaming /ingest".into(),
+        format!("{stream_rps:.0}"),
+        format!("{:.3}", p(&ack_secs, 50.0) * 1e3),
+        format!("{:.3}", p(&ack_secs, 99.0) * 1e3),
+        "none (generation unchanged)".into(),
+    ]);
+    s.row(vec![
+        "batch refresh".into(),
+        format!("{refresh_rps:.0}"),
+        format!("{:.3}", refresh_wall * 1e3),
+        format!("{:.3}", refresh_wall * 1e3),
+        fmt_secs(refresh_wall),
+    ]);
+
+    let s2 = report.section("invariants", &["check", "value"]);
+    s2.row(vec!["generation after streaming".into(), generation_after_stream.to_string()]);
+    s2.row(vec![
+        "streamed total visible pre-compaction".into(),
+        visible_pre_compaction.to_string(),
+    ]);
+    s2.row(vec![
+        "batch path stale before refresh (rows missing)".into(),
+        format!("{:.0}", expect_total as f64 - stale_total),
+    ]);
+    s2.row(vec!["post-compaction probes bit-identical".into(), (mismatches == 0).to_string()]);
+    s2.row(vec!["delta tier drained by compaction".into(), drained.to_string()]);
+    s2.row(vec!["compaction wall".into(), fmt_secs(compact_wall)]);
+    s2.row(vec![
+        "streaming / refresh throughput".into(),
+        fmt_ratio(stream_rps, refresh_rps),
+    ]);
+
+    let json = args.json.clone().unwrap_or_else(|| "BENCH_ingest.json".into());
+    report.emit(Some(&json));
+    let envs: Vec<(&str, &ct_storage::StorageEnv)> =
+        vec![("streaming", streaming.env()), ("batch", batch.env())];
+    ct_bench::metrics::emit_metrics_if_requested(args.metrics.as_deref(), &envs);
+
+    let mut failed = false;
+    if ingest_errors > 0 {
+        eprintln!("regression: {ingest_errors} ingest batches failed");
+        failed = true;
+    }
+    if generation_after_stream != 0 {
+        eprintln!(
+            "regression: generation moved to {generation_after_stream} during streaming \
+             (compaction fired despite disabled thresholds)"
+        );
+        failed = true;
+    }
+    if !visible_pre_compaction {
+        eprintln!(
+            "regression: streamed total {http_total} != expected {expect_total} \
+             before compaction — acknowledged rows are not fresh"
+        );
+        failed = true;
+    }
+    if mismatches > 0 {
+        eprintln!("regression: {mismatches} probes diverged from the batch-refresh engine");
+        failed = true;
+    }
+    if !drained {
+        eprintln!("regression: compaction left rows resident in the delta tier");
+        failed = true;
+    }
+    if stream_rps < baseline * refresh_rps {
+        eprintln!(
+            "regression: streaming ingested {stream_rps:.0} rows/s vs batch refresh \
+             {refresh_rps:.0} rows/s (ratio {:.3} < baseline {baseline:.3})",
+            stream_rps / refresh_rps.max(1e-9)
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Grand total over HTTP: sum of the per-suppkey SUM rows (a scalar query
+/// is not expressible over the wire — at least one attribute is required).
+fn grand_total(client: &mut HttpClient, w: &TpcdWarehouse, group: AttrId) -> f64 {
+    http_rows(client, w, &SliceQuery::new(vec![group], vec![]))
+        .iter()
+        .map(|r| r.agg)
+        .sum()
+}
+
+/// Runs one probe over the wire and parses the JSON answer into normalized
+/// query rows (the wire is shortest-round-trip, so `f64`s survive exactly).
+fn http_rows(client: &mut HttpClient, w: &TpcdWarehouse, q: &SliceQuery) -> Vec<QueryRow> {
+    let body = query_body(w.catalog(), q, false);
+    let reply = client.request("POST", "/query", &body).expect("query transport");
+    assert_eq!(reply.status, 200, "probe failed: {}", reply.text());
+    let doc = Json::parse(&reply.text()).expect("answer parses");
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .expect("rows")
+        .iter()
+        .map(|row| {
+            let cells = row.as_array().expect("row array");
+            let (key, agg) = cells.split_at(cells.len() - 1);
+            QueryRow {
+                key: key.iter().map(|c| c.as_u64().expect("key")).collect(),
+                agg: agg[0].as_f64().expect("agg"),
+            }
+        })
+        .collect();
+    normalize_rows(rows)
+}
+
+/// Reads `min_streaming_vs_refresh_throughput_ratio` from the checked-in
+/// baseline, falling back to 1.0 (streaming must at least match the batch
+/// path per row) if the file is missing or unparsable.
+fn read_baseline_ratio(path: &str) -> f64 {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|doc| doc.get("min_streaming_vs_refresh_throughput_ratio")?.as_f64())
+        .unwrap_or(1.0)
+}

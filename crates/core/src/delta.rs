@@ -1,0 +1,560 @@
+//! In-memory delta tier: streaming ingestion over the merge-pack forest.
+//!
+//! The paper's bulk-incremental update (Figure 15) assumes the delta arrives
+//! as one pre-sorted batch. Production traffic trickles in row by row, so
+//! the forest carries a small LSM-style tier above the packed trees:
+//!
+//! * an **active memtable** absorbs [`DeltaTier::ingest`] calls, merging
+//!   fact rows into per-group [`AggState`]s keyed in *packed sort order*
+//!   (the same order `ct_storage::sort::cmp_records` with reversed key
+//!   columns produces, which is what the pack pipeline sorts by);
+//! * [`DeltaTier::rotate`] seals the active memtable into an immutable
+//!   **sealed tier**, so ingestion never stalls behind a compaction;
+//! * compaction is the existing merge-pack: [`DeltaTier::drain`] folds every
+//!   sealed memtable into one fact [`Relation`] for
+//!   [`crate::forest::CubetreeForest::update`], and the forest removes the
+//!   compacted memtables *atomically with the generation flip*, so a reader
+//!   snapshot sees each ingested row exactly once — in the delta before the
+//!   flip, in the trees after.
+//!
+//! Queries take a [`DeltaSnapshot`] together with their generation pin
+//! ([`crate::forest::CubetreeForest::pin_with_delta`]) and merge the
+//! resident groups into the tree scan through
+//! [`crate::query::RollupAggregator`]; COUNT/SUM/MIN/MAX compose directly
+//! and AVG composes via its SUM+COUNT state, so the merged answer is
+//! identical to a forest rebuilt from base ∪ delta.
+//!
+//! A failed compaction loses nothing: the sealed memtables stay resident
+//! (and visible to queries) until a later merge-pack commits.
+
+use ct_cube::Relation;
+use ct_common::{AggState, AttrId, CtError, Result};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Size/age thresholds that decide when the resident delta should be
+/// compacted into the forest (checked by callers — typically a background
+/// thread — via [`DeltaTier::should_compact`]).
+#[derive(Clone, Debug)]
+pub struct DeltaConfig {
+    /// Compact once this many distinct groups are resident.
+    pub max_rows: u64,
+    /// Compact once the resident approximation exceeds this many bytes.
+    pub max_bytes: u64,
+    /// Compact once the oldest resident row has waited this long.
+    pub max_age: Duration,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            max_rows: 50_000,
+            max_bytes: 16 << 20,
+            max_age: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Resident-delta accounting, for threshold checks and observability.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaStats {
+    /// Distinct groups in the active memtable.
+    pub active_rows: u64,
+    /// Distinct groups across sealed memtables.
+    pub sealed_rows: u64,
+    /// Raw fact rows ingested and still resident (pre-grouping).
+    pub source_rows: u64,
+    /// Approximate resident bytes (keys + aggregate states).
+    pub bytes: u64,
+    /// Sealed memtables awaiting compaction.
+    pub sealed_tiers: usize,
+    /// Age of the oldest resident row, if any rows are resident.
+    pub oldest: Option<Duration>,
+}
+
+impl DeltaStats {
+    /// Distinct groups resident across the active and sealed memtables.
+    pub fn resident_rows(&self) -> u64 {
+        self.active_rows + self.sealed_rows
+    }
+}
+
+/// The mutable memtable absorbing ingested rows.
+///
+/// Keys are stored with their columns *reversed*: `BTreeMap`'s plain
+/// lexicographic `Vec<u64>` order over reversed keys is exactly the packed
+/// sort order (last attribute first) the sort/pack pipeline uses, so sealed
+/// memtables and drained relations come out pre-sorted for merge-pack.
+struct Memtable {
+    id: u64,
+    rows: BTreeMap<Vec<u64>, AggState>,
+    source_rows: u64,
+    first_ingest: Option<Instant>,
+}
+
+impl Memtable {
+    fn new(id: u64) -> Memtable {
+        Memtable { id, rows: BTreeMap::new(), source_rows: 0, first_ingest: None }
+    }
+
+    /// Freezes into an immutable tier, un-reversing keys back to canonical
+    /// column order (iteration order is already packed order).
+    fn freeze(&self) -> FrozenMemtable {
+        FrozenMemtable {
+            id: self.id,
+            rows: self
+                .rows
+                .iter()
+                .map(|(rev, st)| (rev.iter().rev().copied().collect(), *st))
+                .collect(),
+            source_rows: self.source_rows,
+            first_ingest: self.first_ingest.unwrap_or_else(Instant::now),
+        }
+    }
+}
+
+/// An immutable sealed memtable: grouped rows in packed order, keys in
+/// canonical (tier) column order.
+struct FrozenMemtable {
+    id: u64,
+    rows: Vec<(Vec<u64>, AggState)>,
+    source_rows: u64,
+    first_ingest: Instant,
+}
+
+struct TierState {
+    active: Memtable,
+    sealed: Vec<Arc<FrozenMemtable>>,
+    next_id: u64,
+    /// Bumped on every mutation; keys the snapshot cache.
+    version: u64,
+    cached: Option<(u64, DeltaSnapshot)>,
+}
+
+/// An immutable view of the resident delta, taken together with a
+/// generation pin (see [`crate::forest::CubetreeForest::pin_with_delta`]).
+/// Cheap to clone: tiers are shared `Arc`s; the active memtable is frozen
+/// at most once per mutation thanks to a version-keyed cache.
+#[derive(Clone)]
+pub struct DeltaSnapshot {
+    attrs: Arc<Vec<AttrId>>,
+    tiers: Vec<Arc<FrozenMemtable>>,
+    groups: u64,
+}
+
+impl DeltaSnapshot {
+    /// The canonical fact-attribute order of every row's key columns.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.groups == 0
+    }
+
+    /// Distinct groups across all tiers (groups appearing in several tiers
+    /// are counted once per tier; they merge in the aggregator).
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Iterates every resident `(key, state)` pair, tier by tier.
+    pub fn rows(&self) -> impl Iterator<Item = (&[u64], &AggState)> {
+        self.tiers.iter().flat_map(|t| t.rows.iter().map(|(k, s)| (k.as_slice(), s)))
+    }
+
+    /// `Some(self)` when rows are resident — the shape the delta-aware
+    /// query executors take, so an empty tier is bit-for-bit a no-op.
+    pub fn as_option(&self) -> Option<&DeltaSnapshot> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+/// The forest's delta tier: one active memtable plus sealed tiers awaiting
+/// compaction. All methods take `&self`; internal state is lock-protected
+/// and safe to drive from the HTTP ingest path, query pins and a background
+/// compactor concurrently.
+pub struct DeltaTier {
+    attrs: Arc<Vec<AttrId>>,
+    /// Whether every materialized aggregate absorbs retractions; checked at
+    /// ingest time so a bad delta is refused *before* it becomes visible.
+    deletion_safe: bool,
+    state: Mutex<TierState>,
+    g_rows: ct_obs::Gauge,
+    g_bytes: ct_obs::Gauge,
+    rotations: ct_obs::Counter,
+    ingested: ct_obs::Counter,
+    compactions: ct_obs::Counter,
+}
+
+impl DeltaTier {
+    /// Creates an empty tier for fact rows keyed by `attrs` (canonical
+    /// column order; ingested relations may permute it).
+    pub fn new(
+        recorder: &ct_obs::Recorder,
+        attrs: Vec<AttrId>,
+        deletion_safe: bool,
+    ) -> DeltaTier {
+        DeltaTier {
+            attrs: Arc::new(attrs),
+            deletion_safe,
+            state: Mutex::new(TierState {
+                active: Memtable::new(0),
+                sealed: Vec::new(),
+                next_id: 1,
+                version: 0,
+                cached: None,
+            }),
+            g_rows: recorder.gauge("ingest.memtable.rows"),
+            g_bytes: recorder.gauge("ingest.memtable.bytes"),
+            rotations: recorder.counter("ingest.memtable.rotations"),
+            ingested: recorder.counter("ingest.rows"),
+            compactions: recorder.counter("ingest.compactions"),
+        }
+    }
+
+    /// The canonical fact-attribute order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Approximate bytes per resident group: key columns plus the four
+    /// `i64` fields of [`AggState`].
+    fn bytes_per_group(&self) -> u64 {
+        (self.attrs.len() as u64 + 4) * 8
+    }
+
+    fn update_gauges(&self, st: &TierState) {
+        let groups = st.active.rows.len() as u64
+            + st.sealed.iter().map(|t| t.rows.len() as u64).sum::<u64>();
+        self.g_rows.set(groups as f64);
+        self.g_bytes.set((groups * self.bytes_per_group()) as f64);
+    }
+
+    /// Merges a fact relation into the active memtable. The relation's
+    /// attribute set must equal the tier's (any permutation); keys are
+    /// permuted to canonical order as they land.
+    ///
+    /// Returns the number of source rows absorbed.
+    ///
+    /// # Errors
+    /// [`CtError::InvalidArgument`] on an attribute-set mismatch;
+    /// [`CtError::Unsupported`] if the rows carry retractions but a
+    /// materialized aggregate cannot absorb them.
+    pub fn ingest(&self, rows: &Relation) -> Result<u64> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        if rows.has_retractions() && !self.deletion_safe {
+            return Err(CtError::unsupported(
+                "ingest contains deletions but a materialized view uses an aggregate \
+                 that cannot absorb retractions (use count, avg or sum+count)",
+            ));
+        }
+        if rows.attrs.len() != self.attrs.len() {
+            return Err(CtError::invalid(format!(
+                "ingest schema has {} attributes, the fact schema has {}",
+                rows.attrs.len(),
+                self.attrs.len()
+            )));
+        }
+        // Column of each canonical attribute in the incoming relation,
+        // visited in *reverse* so keys land pre-reversed for the memtable.
+        let mut rev_cols = Vec::with_capacity(self.attrs.len());
+        for a in self.attrs.iter().rev() {
+            let col = rows.col_of(*a).ok_or_else(|| {
+                CtError::invalid(format!(
+                    "ingest schema is missing fact attribute {:?}",
+                    a
+                ))
+            })?;
+            rev_cols.push(col);
+        }
+        let mut st = self.state.lock();
+        for i in 0..rows.len() {
+            let key = rows.key(i);
+            let rev: Vec<u64> = rev_cols.iter().map(|&c| key[c]).collect();
+            st.active
+                .rows
+                .entry(rev)
+                .or_insert_with(AggState::identity)
+                .merge(&rows.states[i]);
+        }
+        st.active.source_rows += rows.len() as u64;
+        if st.active.first_ingest.is_none() {
+            st.active.first_ingest = Some(Instant::now());
+        }
+        st.version += 1;
+        st.cached = None;
+        self.ingested.add(rows.len() as u64);
+        self.update_gauges(&st);
+        Ok(rows.len() as u64)
+    }
+
+    fn seal_active_locked(&self, st: &mut TierState) -> bool {
+        if st.active.rows.is_empty() {
+            return false;
+        }
+        let frozen = Arc::new(st.active.freeze());
+        st.sealed.push(frozen);
+        let id = st.next_id;
+        st.next_id += 1;
+        st.active = Memtable::new(id);
+        st.version += 1;
+        st.cached = None;
+        self.rotations.inc();
+        true
+    }
+
+    /// Seals the active memtable into an immutable tier (no-op when empty).
+    /// Ingestion continues into a fresh active memtable immediately.
+    pub fn rotate(&self) -> bool {
+        let mut st = self.state.lock();
+        let sealed = self.seal_active_locked(&mut st);
+        self.update_gauges(&st);
+        sealed
+    }
+
+    /// Rotates, then folds every sealed memtable into one grouped fact
+    /// relation (canonical attribute order, packed sort order) for
+    /// merge-pack, returning it with the sealed memtable ids. The sealed
+    /// tiers stay resident — and visible to queries — until the compaction
+    /// commits and [`DeltaTier::mark_compacted`] removes them; a failed
+    /// compaction therefore loses nothing.
+    pub fn drain(&self) -> Option<(Relation, Vec<u64>)> {
+        let tiers: Vec<Arc<FrozenMemtable>> = {
+            let mut st = self.state.lock();
+            self.seal_active_locked(&mut st);
+            self.update_gauges(&st);
+            if st.sealed.is_empty() {
+                return None;
+            }
+            st.sealed.clone()
+        };
+        let ids: Vec<u64> = tiers.iter().map(|t| t.id).collect();
+        // Re-merge across tiers (a group may appear in several), keyed in
+        // reversed order again so the emitted relation is packed-sorted.
+        let mut merged: BTreeMap<Vec<u64>, AggState> = BTreeMap::new();
+        for t in &tiers {
+            for (key, state) in &t.rows {
+                let rev: Vec<u64> = key.iter().rev().copied().collect();
+                merged.entry(rev).or_insert_with(AggState::identity).merge(state);
+            }
+        }
+        let mut rel = Relation::empty(self.attrs.as_ref().clone());
+        for (rev, state) in merged {
+            let key: Vec<u64> = rev.iter().rev().copied().collect();
+            rel.push(&key, state);
+        }
+        Some((rel, ids))
+    }
+
+    /// Removes sealed memtables whose rows a committed compaction now
+    /// serves from the trees. The forest calls this under its generation
+    /// lock, atomically with the flip, so no snapshot ever sees a row in
+    /// both places (or neither).
+    pub fn mark_compacted(&self, ids: &[u64]) {
+        let mut st = self.state.lock();
+        st.sealed.retain(|t| !ids.contains(&t.id));
+        st.version += 1;
+        st.cached = None;
+        self.compactions.inc();
+        self.update_gauges(&st);
+    }
+
+    /// An immutable snapshot of everything resident right now.
+    pub fn snapshot(&self) -> DeltaSnapshot {
+        let mut st = self.state.lock();
+        if let Some((v, snap)) = &st.cached {
+            if *v == st.version {
+                return snap.clone();
+            }
+        }
+        let mut tiers = st.sealed.clone();
+        if !st.active.rows.is_empty() {
+            tiers.push(Arc::new(st.active.freeze()));
+        }
+        let groups = tiers.iter().map(|t| t.rows.len() as u64).sum();
+        let snap = DeltaSnapshot { attrs: self.attrs.clone(), tiers, groups };
+        st.cached = Some((st.version, snap.clone()));
+        snap
+    }
+
+    /// Current resident accounting.
+    pub fn stats(&self) -> DeltaStats {
+        let st = self.state.lock();
+        let active_rows = st.active.rows.len() as u64;
+        let sealed_rows = st.sealed.iter().map(|t| t.rows.len() as u64).sum::<u64>();
+        let source_rows = st.active.source_rows
+            + st.sealed.iter().map(|t| t.source_rows).sum::<u64>();
+        let oldest = st
+            .sealed
+            .iter()
+            .map(|t| t.first_ingest)
+            .chain(st.active.first_ingest)
+            .min()
+            .map(|t| t.elapsed());
+        DeltaStats {
+            active_rows,
+            sealed_rows,
+            source_rows,
+            bytes: (active_rows + sealed_rows) * self.bytes_per_group(),
+            sealed_tiers: st.sealed.len(),
+            oldest,
+        }
+    }
+
+    /// True when [`DeltaTier::stats`] exceeds any `config` threshold.
+    pub fn should_compact(&self, config: &DeltaConfig) -> bool {
+        let s = self.stats();
+        if s.resident_rows() == 0 {
+            return false;
+        }
+        s.resident_rows() >= config.max_rows
+            || s.bytes >= config.max_bytes
+            || s.oldest.is_some_and(|age| age >= config.max_age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_common::AggFn;
+
+    fn tier() -> (DeltaTier, [AttrId; 2]) {
+        let a = AttrId(0);
+        let b = AttrId(1);
+        (DeltaTier::new(&ct_obs::Recorder::disabled(), vec![a, b], false), [a, b])
+    }
+
+    #[test]
+    fn ingest_groups_and_permutes_to_canonical_order() {
+        let (t, [a, b]) = tier();
+        // Same logical rows, once in (a,b) order and once permuted (b,a).
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 2, 1, 2], &[10, 5])).unwrap();
+        t.ingest(&Relation::from_fact(vec![b, a], vec![2, 1], &[7])).unwrap();
+        let snap = t.snapshot();
+        let rows: Vec<(Vec<u64>, AggState)> =
+            snap.rows().map(|(k, s)| (k.to_vec(), *s)).collect();
+        assert_eq!(rows.len(), 1, "all three rows share group (1,2)");
+        assert_eq!(rows[0].0, vec![1, 2]);
+        assert_eq!(rows[0].1.finalize(AggFn::Sum), 22.0);
+        assert_eq!(rows[0].1.count, 3);
+    }
+
+    #[test]
+    fn rows_come_out_in_packed_sort_order() {
+        let (t, [a, b]) = tier();
+        t.ingest(&Relation::from_fact(
+            vec![a, b],
+            vec![3, 1, 1, 2, 2, 1, 1, 1],
+            &[1, 1, 1, 1],
+        ))
+        .unwrap();
+        let snap = t.snapshot();
+        let keys: Vec<Vec<u64>> = snap.rows().map(|(k, _)| k.to_vec()).collect();
+        // Packed order compares the *last* column first — exactly
+        // cmp_records over reversed key columns.
+        let rev_cols = [1usize, 0];
+        for w in keys.windows(2) {
+            assert_eq!(
+                ct_storage::sort::cmp_records(&w[0], &w[1], &rev_cols),
+                std::cmp::Ordering::Less,
+                "{keys:?} not packed-sorted"
+            );
+        }
+        assert_eq!(keys, vec![vec![1, 1], vec![2, 1], vec![3, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn rotate_drain_and_mark_compacted_lifecycle() {
+        let (t, [a, b]) = tier();
+        assert!(!t.rotate(), "empty active memtable does not seal");
+        assert!(t.drain().is_none());
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 1], &[4])).unwrap();
+        assert!(t.rotate());
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 1, 2, 2], &[6, 9])).unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.sealed_tiers, 1);
+        assert_eq!(stats.resident_rows(), 3);
+        assert_eq!(stats.source_rows, 3);
+        let (rel, ids) = t.drain().unwrap();
+        assert_eq!(ids.len(), 2, "drain seals the active tier too");
+        // Groups re-merged across tiers: (1,1) from both memtables folds.
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.key(0), &[1, 1]);
+        assert_eq!(rel.states[0].sum, 10);
+        assert_eq!(rel.key(1), &[2, 2]);
+        // Still visible until the compaction commits.
+        assert_eq!(t.snapshot().groups(), 3);
+        t.mark_compacted(&ids);
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.stats().resident_rows(), 0);
+    }
+
+    #[test]
+    fn schema_mismatches_and_retractions_are_refused() {
+        let (t, [a, _]) = tier();
+        let c = AttrId(7);
+        assert!(t.ingest(&Relation::from_fact(vec![a], vec![1], &[1])).is_err());
+        assert!(t.ingest(&Relation::from_fact(vec![a, c], vec![1, 1], &[1])).is_err());
+        let retracting = Relation::from_changes(vec![a, AttrId(1)], vec![1, 1], &[5], &[true]);
+        assert!(t.ingest(&retracting).is_err(), "deletion-unsafe tier refuses retractions");
+        let safe = DeltaTier::new(&ct_obs::Recorder::disabled(), vec![a, AttrId(1)], true);
+        assert!(safe.ingest(&retracting).is_ok());
+    }
+
+    #[test]
+    fn thresholds_drive_should_compact() {
+        let (t, [a, b]) = tier();
+        let cfg = DeltaConfig { max_rows: 2, max_bytes: u64::MAX, max_age: Duration::MAX };
+        assert!(!t.should_compact(&cfg), "empty tier never compacts");
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 1], &[1])).unwrap();
+        assert!(!t.should_compact(&cfg));
+        t.ingest(&Relation::from_fact(vec![a, b], vec![2, 2], &[1])).unwrap();
+        assert!(t.should_compact(&cfg));
+        let aged = DeltaConfig { max_rows: u64::MAX, max_bytes: u64::MAX, max_age: Duration::ZERO };
+        assert!(t.should_compact(&aged), "resident rows are older than zero");
+        assert_eq!(t.stats().bytes, 2 * (2 + 4) * 8);
+    }
+
+    #[test]
+    fn gauges_and_counters_mirror_the_tier() {
+        let rec = ct_obs::Recorder::enabled();
+        let a = AttrId(0);
+        let b = AttrId(1);
+        let t = DeltaTier::new(&rec, vec![a, b], false);
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 1, 2, 2], &[1, 1])).unwrap();
+        assert_eq!(rec.gauge("ingest.memtable.rows").get(), 2.0);
+        assert_eq!(rec.counter("ingest.rows").get(), 2);
+        t.rotate();
+        assert_eq!(rec.counter("ingest.memtable.rotations").get(), 1);
+        assert_eq!(rec.gauge("ingest.memtable.rows").get(), 2.0, "sealed rows stay resident");
+        let (_, ids) = t.drain().unwrap();
+        t.mark_compacted(&ids);
+        assert_eq!(rec.counter("ingest.compactions").get(), 1);
+        assert_eq!(rec.gauge("ingest.memtable.rows").get(), 0.0);
+        assert_eq!(rec.gauge("ingest.memtable.bytes").get(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_cache_reuses_frozen_tiers_until_mutation() {
+        let (t, [a, b]) = tier();
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 1], &[1])).unwrap();
+        let s1 = t.snapshot();
+        let s2 = t.snapshot();
+        assert_eq!(s1.groups(), s2.groups());
+        assert!(Arc::ptr_eq(&s1.tiers[0], &s2.tiers[0]), "cached snapshot is reused");
+        t.ingest(&Relation::from_fact(vec![a, b], vec![2, 2], &[1])).unwrap();
+        let s3 = t.snapshot();
+        assert_eq!(s3.groups(), 2);
+        assert!(s1.groups() == 1, "earlier snapshots are immutable");
+    }
+}

@@ -1,9 +1,10 @@
 //! The Cubetree storage engine (the paper's proposal).
 
+use crate::delta::DeltaStats;
 use crate::engine::{BatchResult, RolapEngine};
 use crate::forest::CubetreeForest;
 use crate::query::{
-    execute_forest_query, execute_forest_query_batch, execute_generation_query,
+    execute_forest_query, execute_forest_query_batch, execute_query_with_delta,
 };
 use ct_common::query::QueryRow;
 use ct_common::{AttrId, Catalog, CostModel, CtError, Result, SliceQuery, ViewDef, ViewId};
@@ -123,6 +124,33 @@ impl CubetreeEngine {
         forest.update(&self.env, &self.catalog, delta)?;
         self.env.pool().flush_all()
     }
+
+    /// Streams fact rows into the in-memory delta tier. The rows are
+    /// visible to queries immediately (merged with every tree answer) and
+    /// move into the packed trees at the next [`CubetreeEngine::compact_delta`].
+    ///
+    /// Returns the number of source rows absorbed.
+    pub fn ingest(&self, rows: &Relation) -> Result<u64> {
+        self.forest_ref()?.ingest(rows)
+    }
+
+    /// Merge-packs the resident delta tier into the next forest generation
+    /// (the paper's Figure 15 refresh, fed from the memtables instead of an
+    /// external batch). Returns `false` when nothing was resident.
+    pub fn compact_delta(&self) -> Result<bool> {
+        let forest = self.forest_ref()?;
+        let _phase = self.env.phase("update");
+        let did = forest.compact_delta(&self.env, &self.catalog)?;
+        if did {
+            self.env.pool().flush_all()?;
+        }
+        Ok(did)
+    }
+
+    /// Resident-delta accounting (`None` before [`RolapEngine::load`]).
+    pub fn delta_stats(&self) -> Option<DeltaStats> {
+        self.forest.as_ref().map(|f| f.delta().stats())
+    }
 }
 
 impl RolapEngine for CubetreeEngine {
@@ -159,14 +187,17 @@ impl RolapEngine for CubetreeEngine {
             Ok(BatchResult { results: out.results, sched: Some(out.sched) })
         } else {
             // One pin for the whole loop: the batch answers from a single
-            // generation even if a refresh commits mid-way. Each call still
-            // opens its own "query" root phase, so the I/O accounting stays
-            // bit-identical to the historical per-query loop.
+            // generation (and one delta snapshot) even if a refresh commits
+            // mid-way. Each call still opens its own "query" root phase, so
+            // the I/O accounting stays bit-identical to the historical
+            // per-query loop (an empty delta merges nothing).
             let forest = self.forest_ref()?;
-            let pin = forest.pin();
+            let (pin, delta) = forest.pin_with_delta();
             let results = queries
                 .iter()
-                .map(|q| execute_generation_query(&pin, &self.env, &self.catalog, q))
+                .map(|q| {
+                    execute_query_with_delta(&pin, delta.as_option(), &self.env, &self.catalog, q)
+                })
                 .collect::<Result<Vec<_>>>()?;
             Ok(BatchResult { results, sched: None })
         }

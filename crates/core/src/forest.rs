@@ -40,6 +40,7 @@
 //! the pool's doomed-`DiskFile` machinery, so in-flight queries finish on
 //! the bytes they started with and never observe a half-swapped forest.
 
+use crate::delta::{DeltaSnapshot, DeltaTier};
 use crate::jobs::{run_jobs, Job};
 use crate::select_mapping::{select_mapping, MappingPlan};
 use ct_common::{AttrId, Catalog, CtError, Point, Result, ViewDef, ViewId};
@@ -88,6 +89,17 @@ fn expand_views(
 /// The manifest component name of tree `t` (`cubetree-0`, `cubetree-1`, …).
 fn tree_component(t: usize) -> String {
     format!("cubetree-{t}")
+}
+
+/// The canonical fact-attribute order of the delta tier: ascending id,
+/// deduplicated. A pure function of its input, so build and recovery derive
+/// the same order from the fact schema and the view projections
+/// respectively (every materialized attribute comes from the fact).
+fn canonical_attrs(attrs: impl IntoIterator<Item = AttrId>) -> Vec<AttrId> {
+    let mut out: Vec<AttrId> = attrs.into_iter().collect();
+    out.sort_by_key(|a| a.0);
+    out.dedup();
+    out
 }
 
 /// One physical view placement in the forest.
@@ -303,6 +315,11 @@ pub struct CubetreeForest {
     /// Serializes writers; readers never take it.
     writer: Mutex<()>,
     tracker: Arc<GenTracker>,
+    /// The streaming-ingestion tier above the packed trees (see
+    /// [`crate::delta`]). Rows land here via [`CubetreeForest::ingest`] and
+    /// leave via [`CubetreeForest::compact_delta`], atomically with a
+    /// generation flip.
+    delta: DeltaTier,
 }
 
 impl CubetreeForest {
@@ -450,6 +467,11 @@ impl CubetreeForest {
             env.pool().clone(),
             tracker.clone(),
         );
+        let delta = DeltaTier::new(
+            env.recorder(),
+            canonical_attrs(fact.attrs.iter().copied()),
+            placements.iter().all(|p| p.def.agg.deletion_safe()),
+        );
         Ok(CubetreeForest {
             format,
             plan,
@@ -457,6 +479,7 @@ impl CubetreeForest {
             current: Mutex::new(generation),
             writer: Mutex::new(()),
             tracker,
+            delta,
         })
     }
 
@@ -506,6 +529,14 @@ impl CubetreeForest {
             env.pool().clone(),
             tracker.clone(),
         );
+        // The fact relation is gone after a restart; the union of the view
+        // projections recovers the same canonical order (every materialized
+        // attribute comes from the fact, and canonical order is sorted ids).
+        let delta = DeltaTier::new(
+            env.recorder(),
+            canonical_attrs(views.iter().flat_map(|v| v.projection.iter().copied())),
+            placements.iter().all(|p| p.def.agg.deletion_safe()),
+        );
         Ok(CubetreeForest {
             format,
             plan,
@@ -513,6 +544,7 @@ impl CubetreeForest {
             current: Mutex::new(generation),
             writer: Mutex::new(()),
             tracker,
+            delta,
         })
     }
 
@@ -535,6 +567,35 @@ impl CubetreeForest {
         let gen = self.current.lock().clone();
         self.tracker.pinned();
         ReaderPin { gen, tracker: self.tracker.clone() }
+    }
+
+    /// Pins the current generation *and* snapshots the resident delta in
+    /// one atomic step: both are taken under the generation lock, and a
+    /// compaction removes memtables under that same lock at its flip point,
+    /// so the pair sees every ingested row exactly once — in the delta
+    /// before the flip, in the trees after, never both or neither.
+    pub fn pin_with_delta(&self) -> (ReaderPin, DeltaSnapshot) {
+        let (gen, snap) = {
+            let cur = self.current.lock();
+            (cur.clone(), self.delta.snapshot())
+        };
+        self.tracker.pinned();
+        (ReaderPin { gen, tracker: self.tracker.clone() }, snap)
+    }
+
+    /// The streaming-ingestion tier (thresholds, stats, snapshots).
+    pub fn delta(&self) -> &DeltaTier {
+        &self.delta
+    }
+
+    /// Absorbs fact rows into the in-memory delta tier. The rows become
+    /// visible to queries immediately — no merge-pack, no I/O — and move
+    /// into the packed trees at the next [`CubetreeForest::compact_delta`].
+    ///
+    /// # Errors
+    /// See [`DeltaTier::ingest`].
+    pub fn ingest(&self, rows: &Relation) -> Result<u64> {
+        self.delta.ingest(rows)
     }
 
     /// The current generation number (bumped by every committed update).
@@ -570,6 +631,39 @@ impl CubetreeForest {
         delta_fact: &Relation,
     ) -> Result<()> {
         let _writer = self.writer.lock();
+        self.update_locked(env, catalog, delta_fact, &[])
+    }
+
+    /// Compacts the resident delta tier into the forest: seals the active
+    /// memtable, folds every sealed memtable into one fact relation, and
+    /// merge-packs it exactly like [`CubetreeForest::update`]. The sealed
+    /// memtables are removed at the generation flip, under the generation
+    /// lock, so readers switch from delta-merged answers to tree answers
+    /// atomically. Returns `false` (without packing) when nothing is
+    /// resident.
+    ///
+    /// On error the memtables stay resident and visible; a later compaction
+    /// retries them.
+    pub fn compact_delta(&self, env: &StorageEnv, catalog: &Catalog) -> Result<bool> {
+        let _writer = self.writer.lock();
+        let Some((rel, ids)) = self.delta.drain() else {
+            return Ok(false);
+        };
+        self.update_locked(env, catalog, &rel, &ids)?;
+        Ok(true)
+    }
+
+    /// The merge-pack body shared by [`CubetreeForest::update`] and
+    /// [`CubetreeForest::compact_delta`]. Caller holds the writer lock.
+    /// `compacted` lists delta-tier memtables whose rows `delta_fact`
+    /// carries; they are removed atomically with the publish.
+    fn update_locked(
+        &self,
+        env: &StorageEnv,
+        catalog: &Catalog,
+        delta_fact: &Relation,
+        compacted: &[u64],
+    ) -> Result<()> {
         let base = self.current.lock().clone();
         if delta_fact.has_retractions() {
             if let Some(p) = self.placements.iter().find(|p| !p.def.agg.deletion_safe()) {
@@ -680,7 +774,17 @@ impl CubetreeForest {
             env.pool().clone(),
             self.tracker.clone(),
         );
-        *self.current.lock() = next;
+        {
+            let mut cur = self.current.lock();
+            *cur = next;
+            // Same critical section as the swap: a pin_with_delta either
+            // sees (base, delta incl. these memtables) or (next, delta
+            // excl. them) — compacted rows are never double-counted or
+            // momentarily invisible.
+            if !compacted.is_empty() {
+                self.delta.mark_compacted(compacted);
+            }
+        }
         self.tracker.flips.inc();
         // A crash here (after the rename, before the old generation's doom)
         // leaves the committed manifest plus the prior generation's files on

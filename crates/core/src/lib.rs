@@ -50,6 +50,7 @@
 //! assert_eq!(rows.len(), 2); // part 1 sold by suppliers 1 and 2
 //! ```
 
+pub mod delta;
 pub mod engine;
 pub mod forest;
 mod jobs;
@@ -57,6 +58,7 @@ pub mod query;
 pub mod sched;
 pub mod select_mapping;
 
+pub use delta::{DeltaConfig, DeltaSnapshot, DeltaStats, DeltaTier};
 pub use engine::{ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, RolapEngine};
 pub use forest::{CubetreeForest, Generation, ReaderPin};
 pub use sched::SchedSummary;

@@ -9,6 +9,7 @@
 //! whose physical sort order has the longest prefix of sliced attributes —
 //! that is exactly what the paper's multi-sort-order replicas are for.
 
+use crate::delta::DeltaSnapshot;
 use crate::forest::{CubetreeForest, Generation};
 use crate::jobs::{run_jobs, Job};
 use crate::sched::{schedule, SchedSummary};
@@ -122,6 +123,17 @@ impl<'a> RollupAggregator<'a> {
     /// Rows that passed the predicates.
     pub fn accepted(&self) -> u64 {
         self.accepted
+    }
+
+    /// Merges another aggregator's groups into this one. Both must have
+    /// been created for the *same query* (their group keys are then in the
+    /// same `group_by` order); the sources may differ — this is how a tree
+    /// scan absorbs the resident delta tier's aggregate states.
+    pub fn absorb(&mut self, other: RollupAggregator<'_>) {
+        self.accepted += other.accepted;
+        for (key, state) in other.groups {
+            self.groups.entry(key).or_insert_with(AggState::identity).merge(&state);
+        }
     }
 
     /// Finalizes the groups under aggregate `f`. For deletion-safe
@@ -244,22 +256,55 @@ pub(crate) fn query_region(def: &ViewDef, dims: usize, q: &SliceQuery) -> Rect {
     Rect::new(&lo, &hi)
 }
 
-/// Plans and executes `q` against the forest's current generation. Pins the
-/// generation for the duration of the query; `env` is charged the CPU tuple
-/// cost of the entries the search touches.
+/// Feeds the resident delta snapshot through a fresh aggregator for `q`.
+/// The delta rows are fact-grained (keyed by the full fact schema), so any
+/// query answerable from a materialized view is answerable from them too —
+/// the aggregator re-applies predicates and hierarchy rollups, and the
+/// result absorbs into a tree-scan aggregator for the same query.
+fn delta_aggregator<'a>(
+    delta: &DeltaSnapshot,
+    catalog: &'a Catalog,
+    q: &SliceQuery,
+) -> Result<RollupAggregator<'a>> {
+    let mut agg = RollupAggregator::new(catalog, delta.attrs(), q)?;
+    for (key, state) in delta.rows() {
+        agg.accept(key, state);
+    }
+    Ok(agg)
+}
+
+/// Plans and executes `q` against the forest's current generation, merged
+/// with the resident delta tier (pinned atomically together). `env` is
+/// charged the CPU tuple cost of the entries the search touches; delta rows
+/// are in-memory and charge no page I/O.
 pub fn execute_forest_query(
     forest: &CubetreeForest,
     env: &ct_storage::StorageEnv,
     catalog: &Catalog,
     q: &SliceQuery,
 ) -> Result<Vec<QueryRow>> {
-    execute_generation_query(&forest.pin(), env, catalog, q)
+    let (pin, delta) = forest.pin_with_delta();
+    execute_query_with_delta(&pin, delta.as_option(), env, catalog, q)
 }
 
 /// Plans and executes `q` against one pinned generation. The snapshot's
 /// trees and files stay readable even if an update commits meanwhile.
 pub fn execute_generation_query(
     gen: &Generation,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<Vec<QueryRow>> {
+    execute_query_with_delta(gen, None, env, catalog, q)
+}
+
+/// Plans and executes `q` against one pinned generation, merging the tree
+/// scan with a resident-delta snapshot taken under the same generation lock
+/// (see [`CubetreeForest::pin_with_delta`]). With `delta` `None` this is
+/// exactly the historical tree-only executor, bit for bit.
+pub fn execute_query_with_delta(
+    gen: &Generation,
+    delta: Option<&DeltaSnapshot>,
     env: &ct_storage::StorageEnv,
     catalog: &Catalog,
     q: &SliceQuery,
@@ -287,6 +332,13 @@ pub fn execute_generation_query(
     if recorder.is_enabled() {
         recorder.observe("core.query.touched_entries", touched);
         recorder.add(&format!("core.query.by_view.v{}", placement.def.id.0), 1);
+    }
+    if let Some(d) = delta.and_then(DeltaSnapshot::as_option) {
+        agg.absorb(delta_aggregator(d, catalog, q)?);
+        if recorder.is_enabled() {
+            recorder.add("core.query.delta_merged", 1);
+            recorder.observe("core.query.delta_rows", d.groups());
+        }
     }
     Ok(agg.finish(placement.def.agg))
 }
@@ -322,9 +374,9 @@ pub fn execute_forest_query_batch(
     queries: &[SliceQuery],
 ) -> Result<BatchOutput> {
     // One pin around the whole batch: every query in it answers from the
-    // same generation.
-    let pin = forest.pin();
-    execute_generation_query_batch(&pin, env, catalog, queries)
+    // same generation, merged with the delta resident at pin time.
+    let (pin, delta) = forest.pin_with_delta();
+    execute_generation_query_batch_with_delta(&pin, delta.as_option(), env, catalog, queries)
 }
 
 /// Plans, schedules and executes a whole batch against one pinned
@@ -341,6 +393,22 @@ pub fn execute_generation_query_batch(
     catalog: &Catalog,
     queries: &[SliceQuery],
 ) -> Result<BatchOutput> {
+    execute_generation_query_batch_with_delta(gen, None, env, catalog, queries)
+}
+
+/// The batched executor with resident-delta merging: every rider of a
+/// shared scan additionally absorbs the delta snapshot's groups for its own
+/// query (each rider re-applies its own predicates over the delta rows,
+/// exactly as it does over the shared tree scan). With `delta` `None` this
+/// is the historical batched executor, bit for bit.
+pub fn execute_generation_query_batch_with_delta(
+    gen: &Generation,
+    delta: Option<&DeltaSnapshot>,
+    env: &ct_storage::StorageEnv,
+    catalog: &Catalog,
+    queries: &[SliceQuery],
+) -> Result<BatchOutput> {
+    let delta = delta.and_then(DeltaSnapshot::as_option);
     // One root "query" phase around the whole batch, opened and dropped on
     // the calling thread so root phases never overlap and the I/O delta
     // reconciles against the global counters.
@@ -408,7 +476,14 @@ pub fn execute_generation_query_batch(
                         recorder.add(&format!("core.query.by_view.v{want}"), 1);
                     }
                 }
-                for (sq, agg) in unit.iter().zip(aggs) {
+                for (sq, mut agg) in unit.iter().zip(aggs) {
+                    if let Some(d) = delta {
+                        agg.absorb(delta_aggregator(d, catalog, &queries[sq.index])?);
+                        if recorder.is_enabled() {
+                            recorder.add("core.query.delta_merged", 1);
+                            recorder.observe("core.query.delta_rows", d.groups());
+                        }
+                    }
                     let rows = agg.finish(placement.def.agg);
                     *slots[sq.index].lock().unwrap_or_else(|p| p.into_inner()) = Some(rows);
                 }

@@ -13,13 +13,16 @@
 //! keeping latency bounded instead of letting the queue grow without limit.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ct_common::query::QueryRow;
 use ct_common::SliceQuery;
-use cubetree::query::{execute_generation_query, execute_generation_query_batch};
+use cubetree::query::{
+    execute_generation_query_batch_with_delta, execute_query_with_delta,
+};
 use cubetree::{CubetreeEngine, RolapEngine};
 
 /// Tuning knobs for the admission queue and batch former.
@@ -155,6 +158,12 @@ impl Admission {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.nonempty.notify_all();
     }
+
+    /// True once [`Admission::shutdown`] has been called. The ingest route
+    /// shares this signal so writes stop admitting alongside reads.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
 }
 
 /// The batch-former loop: wait for work, form a batch (size or deadline
@@ -204,8 +213,15 @@ fn batcher(engine: Arc<CubetreeEngine>, shared: Arc<Shared>, config: AdmissionCo
     }
 }
 
-/// Executes one formed batch against a single pinned generation and
-/// delivers per-query answers.
+/// Executes one formed batch against a single pinned generation (merged
+/// with the delta snapshot taken under the same pin) and delivers per-query
+/// answers.
+///
+/// Execution is panic-isolated: a panicking query (or batch) is answered as
+/// an error to its waiters instead of killing the batcher thread. Without
+/// this, one poisoned batch would strand every queued waiter in `recv()`
+/// and permanently eat the queue's capacity — the depth gauge would freeze
+/// above zero and every later submit would see spurious 429s.
 fn execute(engine: &CubetreeEngine, batch: Vec<Pending>) {
     let Some(forest) = engine.forest() else {
         for p in batch {
@@ -213,32 +229,57 @@ fn execute(engine: &CubetreeEngine, batch: Vec<Pending>) {
         }
         return;
     };
-    // One pin for the whole batch: answers and the stamped generation
-    // number come from the same snapshot even if a refresh commits midway.
-    let pin = forest.pin();
+    // One pin (and one delta snapshot) for the whole batch: answers and the
+    // stamped generation number come from the same snapshot even if a
+    // refresh or delta compaction commits midway.
+    let (pin, delta) = forest.pin_with_delta();
     let generation = pin.number();
     let queries: Vec<SliceQuery> = batch.iter().map(|p| p.query.clone()).collect();
-    if engine.env().parallelism().is_parallel() && queries.len() > 1 {
-        match execute_generation_query_batch(&pin, engine.env(), engine.catalog(), &queries) {
-            Ok(out) => {
-                for (p, rows) in batch.into_iter().zip(out.results) {
-                    let _ = p.reply.send(Ok(QueryAnswer { generation, rows }));
+    let answers: Vec<Result<Vec<QueryRow>, String>> =
+        if engine.env().parallelism().is_parallel() && queries.len() > 1 {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute_generation_query_batch_with_delta(
+                    &pin,
+                    delta.as_option(),
+                    engine.env(),
+                    engine.catalog(),
+                    &queries,
+                )
+            }));
+            match outcome {
+                Ok(Ok(out)) => out.results.into_iter().map(Ok).collect(),
+                Ok(Err(e)) => {
+                    let msg = format!("batch execution failed: {e}");
+                    queries.iter().map(|_| Err(msg.clone())).collect()
+                }
+                Err(_) => {
+                    let msg = "batch execution panicked".to_string();
+                    queries.iter().map(|_| Err(msg.clone())).collect()
                 }
             }
-            Err(e) => {
-                let msg = format!("batch execution failed: {e}");
-                for p in batch {
-                    let _ = p.reply.send(Err(msg.clone()));
-                }
-            }
-        }
-    } else {
-        for p in batch {
-            let answer = execute_generation_query(&pin, engine.env(), engine.catalog(), &p.query)
-                .map(|rows| QueryAnswer { generation, rows })
-                .map_err(|e| format!("query execution failed: {e}"));
-            let _ = p.reply.send(answer);
-        }
+        } else {
+            queries
+                .iter()
+                .map(|q| {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        execute_query_with_delta(
+                            &pin,
+                            delta.as_option(),
+                            engine.env(),
+                            engine.catalog(),
+                            q,
+                        )
+                    }));
+                    match outcome {
+                        Ok(Ok(rows)) => Ok(rows),
+                        Ok(Err(e)) => Err(format!("query execution failed: {e}")),
+                        Err(_) => Err("query execution panicked".to_string()),
+                    }
+                })
+                .collect()
+        };
+    for (p, answer) in batch.into_iter().zip(answers) {
+        let _ = p.reply.send(answer.map(|rows| QueryAnswer { generation, rows }));
     }
 }
 
@@ -254,9 +295,10 @@ mod tests {
         let p = catalog.add_attr("p", 4);
         let s = catalog.add_attr("s", 3);
         let views = vec![ViewDef::new(0, vec![p, s], AggFn::Sum)];
-        let mut engine =
-            CubetreeEngine::new(catalog, CubetreeConfig::new(views).with_threads(threads))
-                .unwrap();
+        let config = CubetreeConfig::new(views)
+            .with_threads(threads)
+            .with_recorder(ct_obs::Recorder::enabled());
+        let mut engine = CubetreeEngine::new(catalog, config).unwrap();
         let fact =
             Relation::from_fact(vec![p, s], vec![1, 1, 2, 2, 3, 1, 1, 2], &[10, 20, 30, 40]);
         engine.load(&fact).unwrap();
@@ -324,6 +366,44 @@ mod tests {
         for rx in receivers {
             assert!(rx.recv().unwrap().is_ok(), "queued query dropped on shutdown");
         }
+    }
+
+    #[test]
+    fn panicked_batch_answers_errors_and_keeps_serving() {
+        let engine = tiny_engine(1);
+        let recorder = engine.env().recorder().clone();
+        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        let p = engine.catalog().attr_by_name("p").unwrap();
+        // An inverted range never passes HTTP validation, but a struct
+        // literal reaches the executor, where Rect::new panics. The batcher
+        // must answer it as an error and survive.
+        let poison = SliceQuery { group_by: vec![], predicates: vec![], ranges: vec![(p, 3, 1)] };
+        let rx = admission.submit(poison).unwrap();
+        let answer = rx.recv().expect("batcher died on a panicking query");
+        assert!(answer.unwrap_err().contains("panicked"));
+        // The queue drained and the depth gauge is back at zero, so no
+        // capacity was permanently eaten.
+        assert_eq!(recorder.gauge("server.admission.depth").get(), 0.0);
+        // And the batcher still answers fresh work.
+        let rx = admission.submit(query_for(&engine)).unwrap();
+        assert!(rx.recv().unwrap().is_ok(), "batcher thread was killed by the panic");
+        admission.shutdown();
+    }
+
+    #[test]
+    fn scheduler_error_releases_depth_capacity() {
+        let engine = tiny_engine(1);
+        let recorder = engine.env().recorder().clone();
+        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        // An attribute outside every view's derivation set: planning fails
+        // with a clean error, which must come back as Err, not eat a slot.
+        let alien = ct_common::AttrId(2);
+        let rx = admission.submit(SliceQuery::new(vec![alien], vec![])).unwrap();
+        assert!(rx.recv().unwrap().is_err());
+        assert_eq!(recorder.gauge("server.admission.depth").get(), 0.0);
+        let rx = admission.submit(query_for(&engine)).unwrap();
+        assert!(rx.recv().unwrap().is_ok());
+        admission.shutdown();
     }
 
     #[test]

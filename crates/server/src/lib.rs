@@ -14,6 +14,7 @@
 //! | `GET` | `/metrics` | [`ct_obs`] metrics snapshot as JSON |
 //! | `POST` | `/query` | one slice query (JSON or CSV answer) |
 //! | `POST` | `/refresh` | merge-pack a delta; readers keep answering |
+//! | `POST` | `/ingest` | stream fact rows into the in-memory delta tier |
 //!
 //! ## Architecture
 //!
@@ -27,6 +28,15 @@
 //! merge-pack concurrently with in-flight reads: queries admitted before
 //! the flip answer from the old generation, queries after from the new,
 //! and every response is stamped with the generation it answered from.
+//!
+//! `POST /ingest` is the streaming write path: rows land in the engine's
+//! in-memory delta tier and are visible to the very next query (merged on
+//! top of the pinned generation's tree answers), long before any
+//! merge-pack runs. A background [`compactor`] thread folds the tier into
+//! the packed trees when it exceeds size/age thresholds, and a hard cap on
+//! resident rows turns a lagging compactor into `429` backpressure instead
+//! of unbounded memory growth. Shutdown drains: the compactor's final
+//! merge-pack persists every acknowledged ingest.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -47,6 +57,7 @@
 //! ```
 
 pub mod admission;
+pub mod compactor;
 pub mod http;
 pub mod json;
 pub mod routes;
@@ -61,6 +72,7 @@ use ct_common::{CtError, Result};
 use cubetree::{CubetreeEngine, RolapEngine};
 
 use admission::{Admission, AdmissionConfig};
+use compactor::{Compactor, IngestConfig};
 use http::{read_request, Response};
 
 /// Server configuration.
@@ -71,17 +83,25 @@ pub struct ServerConfig {
     pub addr: String,
     /// Admission-queue and batch-former tuning.
     pub admission: AdmissionConfig,
+    /// Streaming-ingestion thresholds and backpressure tuning.
+    pub ingest: IngestConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:0".to_string(), admission: AdmissionConfig::default() }
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admission: AdmissionConfig::default(),
+            ingest: IngestConfig::default(),
+        }
     }
 }
 
 struct ServerState {
     engine: Arc<CubetreeEngine>,
     admission: Admission,
+    compactor: Compactor,
+    ingest: IngestConfig,
     refresh_lock: Mutex<()>,
     stop: AtomicBool,
 }
@@ -111,9 +131,12 @@ impl CtServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let admission = Admission::start(Arc::clone(&engine), config.admission);
+        let compactor = Compactor::start(Arc::clone(&engine), config.ingest.clone());
         let state = Arc::new(ServerState {
             engine,
             admission,
+            compactor,
+            ingest: config.ingest,
             refresh_lock: Mutex::new(()),
             stop: AtomicBool::new(false),
         });
@@ -138,7 +161,12 @@ impl ServerHandle {
         if self.state.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Order matters: stopping admission first flips the shared shutdown
+        // flag, so /ingest starts answering 503 before the compactor's
+        // final drain runs — no acknowledged row can slip in behind the
+        // drain and be lost on exit.
         self.state.admission.shutdown();
+        self.state.compactor.shutdown();
         // The accept loop blocks in accept(); poke it awake with a
         // throwaway connection so it observes the stop flag.
         let _ = TcpStream::connect(self.addr);
@@ -227,8 +255,13 @@ fn connection_loop(stream: TcpStream, state: Arc<ServerState>) {
         };
         requests.inc();
         let started = Instant::now();
-        let response =
-            routes::dispatch(&state.engine, &state.admission, &state.refresh_lock, &req);
+        let response = routes::dispatch(
+            &state.engine,
+            &state.admission,
+            &state.refresh_lock,
+            &state.ingest,
+            &req,
+        );
         latency_us.record(started.elapsed().as_micros() as u64);
         if recorder.is_enabled() {
             let class = match response.status {

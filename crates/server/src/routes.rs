@@ -5,6 +5,7 @@
 //! group-by/predicate overlap and underivable group-by sets all come back
 //! as `400` with a JSON error body — never a panic, never a wedged worker.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use ct_common::query::{normalize_rows, QueryRow};
@@ -14,6 +15,7 @@ use cubetree::query::plan_generation_query;
 use cubetree::{CubetreeEngine, RolapEngine};
 
 use crate::admission::Admission;
+use crate::compactor::IngestConfig;
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 
@@ -74,6 +76,7 @@ pub fn dispatch(
     engine: &Arc<CubetreeEngine>,
     admission: &Admission,
     refresh_lock: &std::sync::Mutex<()>,
+    ingest: &IngestConfig,
     req: &Request,
 ) -> Response {
     let result = match (req.method.as_str(), req.path.as_str()) {
@@ -82,14 +85,23 @@ pub fn dispatch(
         ("GET", "/metrics") => handle_metrics(engine),
         ("POST", "/query") => return handle_query(engine, admission, req),
         ("POST", "/refresh") => {
-            let _writer = refresh_lock.lock().expect("refresh lock poisoned");
-            handle_refresh(engine, req)
+            // A writer that panicked mid-refresh poisons this mutex. The
+            // engine below it stays sound (generation MVCC commits via
+            // atomic manifest rename, so a torn refresh never publishes),
+            // which makes the poison flag pure noise: recover the guard and
+            // keep serializing writers instead of panicking every later
+            // /refresh on a long-dead failure.
+            let _writer = refresh_lock.lock().unwrap_or_else(|e| e.into_inner());
+            catch_unwind(AssertUnwindSafe(|| handle_refresh(engine, req))).unwrap_or_else(
+                |_| Err(ApiError::internal("refresh panicked; no generation was published")),
+            )
         }
+        ("POST", "/ingest") => return handle_ingest(engine, admission, ingest, req),
         (_, "/healthz" | "/views" | "/metrics") => Err(ApiError {
             status: 405,
             message: format!("{} is GET-only", req.path),
         }),
-        (_, "/query" | "/refresh") => Err(ApiError {
+        (_, "/query" | "/refresh" | "/ingest") => Err(ApiError {
             status: 405,
             message: format!("{} is POST-only", req.path),
         }),
@@ -217,13 +229,35 @@ fn query_rows_json(generation: u64, columns: &[String], rows: &[QueryRow]) -> St
     body
 }
 
+/// Quotes one CSV field per RFC 4180: fields containing a comma, a double
+/// quote, or a line break are wrapped in double quotes with inner quotes
+/// doubled; anything else passes through verbatim.
+fn csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\r', '\n']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
 /// Renders the CSV body: a header of group-by names + `agg`, then one line
-/// per row. Attribute values are integers and the aggregate uses Rust's
-/// shortest-round-trip float formatting, so no quoting is ever needed.
+/// per row. Data cells are integers and shortest-round-trip floats, which
+/// never need quoting; header cells are attribute names, which may (the
+/// schema does not forbid commas or quotes in names), so each one goes
+/// through the RFC-4180 escaper.
 fn query_rows_csv(columns: &[String], rows: &[QueryRow]) -> String {
     let mut body = String::new();
     for c in columns {
-        body.push_str(c);
+        body.push_str(&csv_field(c));
         body.push(',');
     }
     body.push_str("agg\r\n");
@@ -425,16 +459,39 @@ fn requested_format(req: &Request, doc: &Json) -> Result<Format, ApiError> {
 /// ```
 /// where each row lists one key per attribute followed by the measure.
 fn handle_refresh(engine: &CubetreeEngine, req: &Request) -> Result<Response, ApiError> {
+    let delta = parse_fact_body(engine.catalog(), req, "refresh")?;
+    let applied = delta.len();
+    engine.refresh(&delta).map_err(|e| match e {
+        CtError::InvalidArgument(msg) | CtError::Unsupported(msg) => ApiError::bad_request(msg),
+        other => ApiError::internal(format!("refresh failed: {other}")),
+    })?;
+    let generation = engine
+        .forest()
+        .map(|f| f.generation_number())
+        .ok_or_else(|| ApiError::internal("engine not loaded"))?;
+    Ok(Response::json(
+        200,
+        format!("{{\"generation\": {generation}, \"applied_rows\": {applied}}}"),
+    ))
+}
+
+/// Parses the fact-row body shared by `POST /refresh` and `POST /ingest`:
+/// `{"attrs": [names...], "rows": [[keys..., measure], ...]}` where each
+/// row lists one key per attribute followed by the measure.
+fn parse_fact_body(
+    catalog: &Catalog,
+    req: &Request,
+    what: &str,
+) -> Result<Relation, ApiError> {
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
     let doc = Json::parse(text)
         .map_err(|e| ApiError::bad_request(format!("body is not valid JSON: {e}")))?;
-    let catalog = engine.catalog();
 
     let attr_names = doc
         .get("attrs")
         .and_then(Json::as_array)
-        .ok_or_else(|| ApiError::bad_request("refresh body needs an \"attrs\" array"))?;
+        .ok_or_else(|| ApiError::bad_request(format!("{what} body needs an \"attrs\" array")))?;
     let mut attrs = Vec::new();
     for a in attr_names {
         let name =
@@ -452,7 +509,7 @@ fn handle_refresh(engine: &CubetreeEngine, req: &Request) -> Result<Response, Ap
     let rows = doc
         .get("rows")
         .and_then(Json::as_array)
-        .ok_or_else(|| ApiError::bad_request("refresh body needs a \"rows\" array"))?;
+        .ok_or_else(|| ApiError::bad_request(format!("{what} body needs a \"rows\" array")))?;
     let mut keys = Vec::with_capacity(rows.len() * attrs.len());
     let mut measures = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
@@ -476,20 +533,67 @@ fn handle_refresh(engine: &CubetreeEngine, req: &Request) -> Result<Response, Ap
         measures.push(m);
     }
 
-    let delta = Relation::from_fact(attrs, keys, &measures);
-    let applied = delta.len();
-    engine.refresh(&delta).map_err(|e| match e {
-        CtError::InvalidArgument(msg) | CtError::Unsupported(msg) => ApiError::bad_request(msg),
-        other => ApiError::internal(format!("refresh failed: {other}")),
-    })?;
-    let generation = engine
-        .forest()
-        .map(|f| f.generation_number())
-        .ok_or_else(|| ApiError::internal("engine not loaded"))?;
-    Ok(Response::json(
+    Ok(Relation::from_fact(attrs, keys, &measures))
+}
+
+/// Handles `POST /ingest`: stream fact rows into the in-memory delta tier.
+/// Accepted rows are visible to queries immediately (merged on top of the
+/// pinned generation) and move into the packed trees at the next background
+/// compaction. Body shape is identical to `POST /refresh`.
+///
+/// Backpressure mirrors the read path's admission control: `503` while the
+/// server is shutting down (no new rows once the final drain may have
+/// started), `429` + `Retry-After` once the resident tier exceeds
+/// [`IngestConfig::hard_max_rows`] — the compactor is behind, so the client
+/// should back off rather than grow the memtables without bound.
+fn handle_ingest(
+    engine: &Arc<CubetreeEngine>,
+    admission: &Admission,
+    config: &IngestConfig,
+    req: &Request,
+) -> Response {
+    if admission.is_shutting_down() {
+        return Response::json(503, "{\"error\": \"server is shutting down\"}".to_string());
+    }
+    let resident =
+        engine.delta_stats().map_or(0, |s| s.resident_rows());
+    if resident >= config.hard_max_rows {
+        return Response::json(
+            429,
+            format!(
+                "{{\"error\": \"delta tier full ({resident} rows resident), retry later\"}}"
+            ),
+        )
+        .with_header("retry-after", config.retry_after_secs.to_string());
+    }
+    let rows = match parse_fact_body(engine.catalog(), req, "ingest") {
+        Ok(rows) => rows,
+        Err(e) => return e.into_response(),
+    };
+    let accepted = match engine.ingest(&rows) {
+        Ok(n) => n,
+        Err(e) => {
+            return match e {
+                CtError::InvalidArgument(msg) | CtError::Unsupported(msg) => {
+                    ApiError::bad_request(msg)
+                }
+                other => ApiError::internal(format!("ingest failed: {other}")),
+            }
+            .into_response()
+        }
+    };
+    let stats = engine.delta_stats();
+    let (resident, sealed) =
+        stats.map_or((0, 0), |s| (s.resident_rows(), s.sealed_tiers as u64));
+    let generation =
+        engine.forest().map_or(0, |f| f.generation_number());
+    Response::json(
         200,
-        format!("{{\"generation\": {generation}, \"applied_rows\": {applied}}}"),
-    ))
+        format!(
+            "{{\"accepted_rows\": {accepted}, \"resident_rows\": {resident}, \
+             \"sealed_tiers\": {sealed}, \"generation\": {generation}}}"
+        ),
+    )
 }
 
 #[cfg(test)]
@@ -513,14 +617,44 @@ mod tests {
         engine
     }
 
-    fn post_query(body: &str) -> Request {
+    fn post(path: &str, body: &str) -> Request {
         Request {
             method: "POST".to_string(),
-            path: "/query".to_string(),
+            path: path.to_string(),
             query_string: String::new(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
+    }
+
+    fn post_query(body: &str) -> Request {
+        post("/query", body)
+    }
+
+    struct Ctx {
+        engine: Arc<CubetreeEngine>,
+        admission: crate::admission::Admission,
+        refresh_lock: std::sync::Mutex<()>,
+        ingest: IngestConfig,
+    }
+
+    fn ctx() -> Ctx {
+        let engine = Arc::new(engine());
+        let admission = crate::admission::Admission::start(
+            Arc::clone(&engine),
+            crate::admission::AdmissionConfig::default(),
+        );
+        Ctx { engine, admission, refresh_lock: std::sync::Mutex::new(()), ingest: IngestConfig::default() }
+    }
+
+    impl Ctx {
+        fn dispatch(&self, req: &Request) -> Response {
+            dispatch(&self.engine, &self.admission, &self.refresh_lock, &self.ingest, req)
+        }
+    }
+
+    fn body_text(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).unwrap()
     }
 
     #[test]
@@ -602,6 +736,177 @@ mod tests {
         ];
         let csv = query_rows_csv(&["suppkey".to_string()], &rows);
         assert_eq!(csv, "suppkey,agg\r\n1,30\r\n2,0.5\r\n");
+    }
+
+    #[test]
+    fn refresh_survives_a_poisoned_writer_lock() {
+        let c = ctx();
+        // Poison the writer lock the way a panicking handler thread would.
+        {
+            let lock_ref: &std::sync::Mutex<()> = &c.refresh_lock;
+            std::thread::scope(|s| {
+                let _ = s
+                    .spawn(|| {
+                        let _guard = lock_ref.lock().unwrap();
+                        panic!("simulated writer panic");
+                    })
+                    .join();
+            });
+        }
+        assert!(c.refresh_lock.lock().is_err(), "test setup must actually poison the lock");
+        // Old code: `.expect("refresh lock poisoned")` panics here, killing
+        // the connection thread. New code: the guard is recovered and the
+        // refresh applies normally.
+        let resp = c.dispatch(&post(
+            "/refresh",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[4, 4, 7]]}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        assert!(body_text(&resp).contains("\"applied_rows\": 1"));
+        // And it keeps serving: a second refresh also succeeds.
+        let resp = c.dispatch(&post(
+            "/refresh",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[5, 5, 8]]}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+    }
+
+    #[test]
+    fn ingest_accepts_rows_and_reports_residency() {
+        let c = ctx();
+        let resp = c.dispatch(&post(
+            "/ingest",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[4, 4, 7], [5, 5, 8]]}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", body_text(&resp));
+        let body = body_text(&resp);
+        assert!(body.contains("\"accepted_rows\": 2"), "{body}");
+        assert!(body.contains("\"resident_rows\": 2"), "{body}");
+        // The rows are visible to the very next query, pre-compaction.
+        let q = c.dispatch(&post_query(r#"{"where": {"partkey": 4}}"#));
+        assert_eq!(q.status, 200, "{}", body_text(&q));
+        assert!(body_text(&q).contains("[7]"), "{}", body_text(&q));
+        // Bad rows still 400 like /refresh.
+        let bad = c.dispatch(&post(
+            "/ingest",
+            r#"{"attrs": ["partkey"], "rows": [[99, 1]]}"#,
+        ));
+        assert_eq!(bad.status, 400, "{}", body_text(&bad));
+        // GET /ingest is 405.
+        let mut get = post("/ingest", "");
+        get.method = "GET".to_string();
+        assert_eq!(c.dispatch(&get).status, 405);
+    }
+
+    #[test]
+    fn ingest_backpressure_and_shutdown() {
+        let mut c = ctx();
+        c.ingest.hard_max_rows = 1;
+        let ok = c.dispatch(&post(
+            "/ingest",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[4, 4, 7]]}"#,
+        ));
+        assert_eq!(ok.status, 200, "{}", body_text(&ok));
+        // Resident rows now ≥ hard_max_rows: the next ingest is refused
+        // with backpressure, not absorbed.
+        let full = c.dispatch(&post(
+            "/ingest",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[5, 5, 8]]}"#,
+        ));
+        assert_eq!(full.status, 429, "{}", body_text(&full));
+        assert!(
+            full.extra_headers.iter().any(|(k, _)| k == "retry-after"),
+            "429 advertises retry-after"
+        );
+        // After shutdown begins, ingest answers 503 regardless of capacity.
+        c.admission.shutdown();
+        let down = c.dispatch(&post(
+            "/ingest",
+            r#"{"attrs": ["partkey", "suppkey"], "rows": [[6, 1, 9]]}"#,
+        ));
+        assert_eq!(down.status, 503, "{}", body_text(&down));
+    }
+
+    #[test]
+    fn csv_field_quotes_per_rfc4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field(""), "");
+        assert_eq!(csv_field("has,comma"), "\"has,comma\"");
+        assert_eq!(csv_field("has\"quote"), "\"has\"\"quote\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_field("cr\rfield"), "\"cr\rfield\"");
+        assert_eq!(csv_field("\"already\""), "\"\"\"already\"\"\"");
+    }
+
+    /// A strict RFC-4180 reader for one line, used to prove the writer and
+    /// a conforming consumer agree.
+    fn parse_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut chars = line.chars().peekable();
+        loop {
+            let mut field = String::new();
+            if chars.peek() == Some(&'"') {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('"') if chars.peek() == Some(&'"') => {
+                            chars.next();
+                            field.push('"');
+                        }
+                        Some('"') => break,
+                        Some(ch) => field.push(ch),
+                        None => panic!("unterminated quoted field"),
+                    }
+                }
+            } else {
+                while let Some(&ch) = chars.peek() {
+                    if ch == ',' {
+                        break;
+                    }
+                    field.push(ch);
+                    chars.next();
+                }
+            }
+            fields.push(field);
+            match chars.next() {
+                Some(',') => continue,
+                None => return fields,
+                Some(ch) => panic!("unexpected {ch:?} after field"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_column_names_round_trip_csv_and_match_json() {
+        // Attribute names with CSV metacharacters: commas, quotes, and a
+        // line break. Old code emitted them raw, splitting the header into
+        // the wrong number of columns.
+        let columns = vec![
+            "region, detail".to_string(),
+            "the \"supp\" key".to_string(),
+            "two\nlines".to_string(),
+        ];
+        let rows = vec![QueryRow { key: vec![1, 2, 3], agg: 4.5 }];
+        let csv = query_rows_csv(&columns, &rows);
+        let mut lines = csv.split("\r\n");
+        let header = parse_csv_line(lines.next().unwrap());
+        assert_eq!(header.len(), columns.len() + 1, "header keeps one field per column");
+        assert_eq!(&header[..columns.len()], &columns[..], "names survive the round trip");
+        assert_eq!(header[columns.len()], "agg");
+        // The header carries exactly the same column names as the JSON
+        // rendering of the same answer (JSON has its own escaping).
+        let json_body = query_rows_json(0, &columns, &rows);
+        let doc = Json::parse(&json_body).unwrap();
+        let json_cols: Vec<String> = doc
+            .get("columns")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(&json_cols[..columns.len()], &header[..columns.len()]);
+        let data = parse_csv_line(lines.next().unwrap());
+        assert_eq!(data, vec!["1", "2", "3", "4.5"]);
     }
 
     #[test]

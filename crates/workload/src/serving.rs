@@ -48,6 +48,11 @@ pub struct ServingConfig {
     pub drilldown_frac: f64,
     /// Fraction of requests asking for CSV instead of JSON.
     pub csv_frac: f64,
+    /// Fraction of requests that `POST /ingest` a batch of fresh fact rows
+    /// instead of querying (`0.0` = pure read workload).
+    pub ingest_frac: f64,
+    /// Rows per ingested batch.
+    pub ingest_rows: usize,
     /// Workload seed; client `i` streams queries from `seed + i`.
     pub seed: u64,
 }
@@ -60,6 +65,8 @@ impl Default for ServingConfig {
             mode: LoopMode::Closed,
             drilldown_frac: 0.5,
             csv_frac: 0.25,
+            ingest_frac: 0.0,
+            ingest_rows: 8,
             seed: 42,
         }
     }
@@ -76,6 +83,8 @@ pub struct ServingStats {
     pub rejected: u64,
     /// Transport failures and non-200/429 statuses.
     pub errors: u64,
+    /// Fact rows acknowledged by `POST /ingest` (`200` answers only).
+    pub ingested_rows: u64,
     /// Wall-clock duration of the whole run in seconds.
     pub wall_secs: f64,
     /// Per-success latency in seconds (closed: send→answer; open:
@@ -119,6 +128,42 @@ pub fn query_body(catalog: &Catalog, q: &SliceQuery, csv: bool) -> String {
         body.push_str(", \"format\": \"csv\"");
     }
     body.push('}');
+    body
+}
+
+/// Renders a deterministic batch of fresh fact rows as a `POST /ingest`
+/// (or `/refresh`) JSON body. Keys are drawn uniformly from each
+/// attribute's domain off the caller's RNG state; measures are small
+/// positive integers.
+pub fn ingest_body(
+    catalog: &Catalog,
+    base: &[AttrId],
+    rows: usize,
+    rng: &mut u64,
+) -> String {
+    let next = |rng: &mut u64| {
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        *rng
+    };
+    let names: Vec<String> =
+        base.iter().map(|a| format!("\"{}\"", catalog.attr(*a).name)).collect();
+    let mut body = format!("{{\"attrs\": [{}], \"rows\": [", names.join(", "));
+    for r in 0..rows {
+        if r > 0 {
+            body.push_str(", ");
+        }
+        body.push('[');
+        for a in base {
+            let card = catalog.attr(*a).cardinality;
+            body.push_str(&(next(rng) % card + 1).to_string());
+            body.push_str(", ");
+        }
+        body.push_str(&(next(rng) % 50 + 1).to_string());
+        body.push(']');
+    }
+    body.push_str("]}");
     body
 }
 
@@ -258,6 +303,7 @@ pub fn run_serving(
             stats.ok += client_stats.ok;
             stats.rejected += client_stats.rejected;
             stats.errors += client_stats.errors;
+            stats.ingested_rows += client_stats.ingested_rows;
             stats.latencies.extend(client_stats.latencies);
         }
         Ok(())
@@ -277,6 +323,7 @@ fn client_loop(
     let mut stats = ServingStats::default();
     let mut client_conn = HttpClient::connect(addr)?;
     let top_mask = (1usize << base.len()) - 1;
+    let base_attrs = base.clone();
     let mut generator = QueryGenerator::new(catalog, base, cfg.seed + client as u64);
     // A cheap deterministic stream for the drilldown/CSV mix decisions,
     // independent of the query stream so the mix is stable per request
@@ -288,15 +335,27 @@ fn client_loop(
         mix ^= mix << 17;
         (mix >> 11) as f64 / (1u64 << 53) as f64
     };
+    // Separate stream for ingest row keys so adding writes to the mix does
+    // not perturb the query stream at a given request index.
+    let mut ingest_rng = cfg.seed ^ 0xA5A5_A5A5_A5A5_A5A5 ^ ((client as u64) << 32) | 1;
     let started = Instant::now();
     for i in 0..cfg.requests_per_client {
-        let q = if next_mix() < cfg.drilldown_frac {
-            generator.next_query_on(top_mask)
+        // Guarded draw: a pure read workload (`ingest_frac` 0) consumes no
+        // extra mix state, so its query stream is unchanged from before
+        // ingestion existed.
+        let ingesting = cfg.ingest_frac > 0.0 && next_mix() < cfg.ingest_frac;
+        let (path, body, batch_rows) = if ingesting {
+            let body = ingest_body(catalog, &base_attrs, cfg.ingest_rows, &mut ingest_rng);
+            ("/ingest", body, cfg.ingest_rows as u64)
         } else {
-            generator.next_query()
+            let q = if next_mix() < cfg.drilldown_frac {
+                generator.next_query_on(top_mask)
+            } else {
+                generator.next_query()
+            };
+            let csv = next_mix() < cfg.csv_frac;
+            ("/query", query_body(catalog, &q, csv), 0)
         };
-        let csv = next_mix() < cfg.csv_frac;
-        let body = query_body(catalog, &q, csv);
         // Open loop: wait for the scheduled arrival; latency clock starts
         // at the *intended* send time even if the previous answer was late.
         let reference = match interval {
@@ -310,9 +369,10 @@ fn client_loop(
             None => Instant::now(),
         };
         stats.requests += 1;
-        match client_conn.request("POST", "/query", &body) {
+        match client_conn.request("POST", path, &body) {
             Ok(reply) if reply.status == 200 => {
                 stats.ok += 1;
+                stats.ingested_rows += batch_rows;
                 stats.latencies.push(reference.elapsed().as_secs_f64());
             }
             Ok(reply) if reply.status == 429 => stats.rejected += 1,
@@ -357,12 +417,43 @@ mod tests {
     }
 
     #[test]
+    fn ingest_body_is_deterministic_and_in_domain() {
+        let (c, base) = catalog();
+        let mut rng = 7;
+        let body = ingest_body(&c, &base, 3, &mut rng);
+        let mut rng2 = 7;
+        assert_eq!(body, ingest_body(&c, &base, 3, &mut rng2), "same seed, same batch");
+        let mut rng3 = 8;
+        assert_ne!(body, ingest_body(&c, &base, 3, &mut rng3), "seed changes the batch");
+        assert!(body.starts_with(r#"{"attrs": ["partkey", "suppkey"], "rows": ["#));
+        // Every row is [p, s, m] with p in 1..=10, s in 1..=5, m in 1..=50.
+        let rows: Vec<Vec<u64>> = body
+            .split('[')
+            .skip(2)
+            .map(|r| {
+                r.split(|ch: char| !ch.is_ascii_digit())
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.parse().unwrap())
+                    .collect()
+            })
+            .filter(|r: &Vec<u64>| !r.is_empty())
+            .collect();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            assert_eq!(row.len(), 3);
+            assert!((1..=10).contains(&row[0]) && (1..=5).contains(&row[1]));
+            assert!((1..=50).contains(&row[2]));
+        }
+    }
+
+    #[test]
     fn stats_aggregate_and_percentiles() {
         let stats = ServingStats {
             requests: 4,
             ok: 4,
             rejected: 0,
             errors: 0,
+            ingested_rows: 0,
             wall_secs: 2.0,
             latencies: vec![0.004, 0.001, 0.003, 0.002],
         };

@@ -1,0 +1,207 @@
+//! Streaming-ingestion correctness: the in-memory delta tier over the
+//! packed forest.
+//!
+//! Two guarantees are pinned here:
+//!
+//! * **Read-your-writes equivalence** — for arbitrary base facts and
+//!   ingested rows, `tree ∪ delta` answers every query exactly like an
+//!   engine rebuilt from scratch over `base ∪ delta`, for every aggregate
+//!   function (COUNT/SUM/MIN/MAX compose state-wise; AVG via SUM+COUNT).
+//! * **Compaction transparency** — merge-packing the delta tier into the
+//!   next generation changes *where* rows live, never *what* queries
+//!   answer; post-compaction answers are identical to a batch `refresh`
+//!   of the same rows, and the tier is empty afterwards.
+
+use cubetrees_repro::common::query::{normalize_rows, QueryRow};
+use cubetrees_repro::common::AttrId;
+use cubetrees_repro::{
+    AggFn, Catalog, CubetreeConfig, CubetreeEngine, Relation, RolapEngine, SliceQuery, ViewDef,
+};
+use proptest::prelude::*;
+
+const CARDS: [u64; 3] = [8, 5, 6];
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_attr("p", CARDS[0]);
+    cat.add_attr("s", CARDS[1]);
+    cat.add_attr("c", CARDS[2]);
+    cat
+}
+
+fn views(agg: AggFn) -> Vec<ViewDef> {
+    vec![
+        ViewDef::new(0, (0..3).map(AttrId).collect(), agg),
+        ViewDef::new(1, vec![AttrId(0), AttrId(1)], agg),
+        ViewDef::new(2, vec![AttrId(2)], agg),
+        ViewDef::new(3, vec![], agg),
+    ]
+}
+
+fn relation(rows: &[(u64, u64, u64, i64)]) -> Relation {
+    let mut keys = Vec::with_capacity(rows.len() * 3);
+    let mut measures = Vec::with_capacity(rows.len());
+    for &(p, s, c, m) in rows {
+        keys.extend_from_slice(&[p, s, c]);
+        measures.push(m);
+    }
+    Relation::from_fact((0..3).map(AttrId).collect(), keys, &measures)
+}
+
+fn probes() -> Vec<SliceQuery> {
+    vec![
+        SliceQuery::new(vec![], vec![]),
+        SliceQuery::new(vec![AttrId(0)], vec![]),
+        SliceQuery::new(vec![AttrId(2)], vec![]),
+        SliceQuery::new(vec![AttrId(1)], vec![(AttrId(0), 3)]),
+        SliceQuery::new(vec![AttrId(0), AttrId(1)], vec![]),
+        SliceQuery::new(vec![], vec![(AttrId(2), 2)]),
+    ]
+}
+
+fn answers(engine: &CubetreeEngine, qs: &[SliceQuery]) -> Vec<Vec<QueryRow>> {
+    qs.iter().map(|q| normalize_rows(engine.query(q).unwrap())).collect()
+}
+
+/// An engine built fresh over `rows` — the ground truth both the delta
+/// tier and the compacted forest must match.
+fn rebuilt(agg: AggFn, rows: &[(u64, u64, u64, i64)]) -> CubetreeEngine {
+    let mut engine =
+        CubetreeEngine::new(catalog(), CubetreeConfig::new(views(agg))).unwrap();
+    engine.load(&relation(rows)).unwrap();
+    engine
+}
+
+fn row_strategy(
+    max_len: usize,
+) -> impl Strategy<Value = Vec<(u64, u64, u64, i64)>> {
+    proptest::collection::vec(
+        (1..=CARDS[0], 1..=CARDS[1], 1..=CARDS[2], 1..50i64),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// tree ∪ delta ≡ rebuild(base ∪ delta), then compact ≡ batch refresh,
+    /// for every aggregate function.
+    #[test]
+    fn prop_delta_reads_equal_rebuild_and_compaction_is_transparent(
+        base in row_strategy(80),
+        batches in proptest::collection::vec(row_strategy(25), 1..4),
+    ) {
+        let qs = probes();
+        for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max, AggFn::Avg] {
+            let mut engine =
+                CubetreeEngine::new(catalog(), CubetreeConfig::new(views(agg))).unwrap();
+            engine.load(&relation(&base)).unwrap();
+
+            // Ingest batch by batch; after each, every probe must answer as
+            // if the engine had been rebuilt over everything so far — the
+            // rows are visible without any merge-pack having run.
+            let mut all = base.clone();
+            for batch in &batches {
+                engine.ingest(&relation(batch)).unwrap();
+                all.extend_from_slice(batch);
+                let reference = rebuilt(agg, &all);
+                prop_assert_eq!(
+                    answers(&engine, &qs),
+                    answers(&reference, &qs),
+                    "agg {:?}: tree ∪ delta diverged from rebuild", agg
+                );
+            }
+            prop_assert_eq!(engine.forest().unwrap().generation_number(), 0,
+                "reads must not have triggered compaction");
+            prop_assert!(engine.delta_stats().unwrap().resident_rows() > 0);
+
+            // Compact: same answers, empty tier, new generation. The
+            // compacted forest must also match a batch-refresh engine fed
+            // the identical batches (same merge-pack entry point).
+            prop_assert!(engine.compact_delta().unwrap());
+            prop_assert_eq!(engine.delta_stats().unwrap().resident_rows(), 0);
+            prop_assert_eq!(engine.forest().unwrap().generation_number(), 1);
+            let mut refreshed =
+                CubetreeEngine::new(catalog(), CubetreeConfig::new(views(agg))).unwrap();
+            refreshed.load(&relation(&base)).unwrap();
+            let folded: Vec<_> = batches.iter().flatten().copied().collect();
+            refreshed.refresh(&relation(&folded)).unwrap();
+            prop_assert_eq!(
+                answers(&engine, &qs),
+                answers(&refreshed, &qs),
+                "agg {:?}: compaction diverged from batch refresh", agg
+            );
+            // Idempotent when empty: no spurious generation.
+            prop_assert!(!engine.compact_delta().unwrap());
+            prop_assert_eq!(engine.forest().unwrap().generation_number(), 1);
+        }
+    }
+}
+
+/// Ingested rows merge with *derived* views too: a query answered by
+/// rolling up V{p,s} must still fold the fact-grained delta in.
+#[test]
+fn delta_merges_into_derived_view_answers() {
+    let mut cat = Catalog::new();
+    cat.add_attr("p", 6);
+    cat.add_attr("s", 4);
+    let views = vec![ViewDef::new(0, vec![AttrId(0), AttrId(1)], AggFn::Sum)];
+    let mut engine = CubetreeEngine::new(cat, CubetreeConfig::new(views)).unwrap();
+    engine
+        .load(&Relation::from_fact(
+            vec![AttrId(0), AttrId(1)],
+            vec![1, 1, 2, 2],
+            &[10, 20],
+        ))
+        .unwrap();
+    engine
+        .ingest(&Relation::from_fact(
+            vec![AttrId(0), AttrId(1)],
+            vec![1, 2, 2, 2],
+            &[5, 7],
+        ))
+        .unwrap();
+    // group_by p: derived from V{p,s} by rollup; delta contributes to both.
+    let rows = normalize_rows(engine.query(&SliceQuery::new(vec![AttrId(0)], vec![])).unwrap());
+    assert_eq!(
+        rows,
+        vec![
+            QueryRow { key: vec![1], agg: 15.0 },
+            QueryRow { key: vec![2], agg: 27.0 },
+        ]
+    );
+    // Predicate-sliced scalar: base (2,2)=20 plus delta (1,2)=5 and (2,2)=7.
+    let rows = engine.query(&SliceQuery::new(vec![], vec![(AttrId(1), 2)])).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].agg, 32.0);
+}
+
+/// Retractions are refused at ingest time unless *every* view's aggregate
+/// is deletion-safe (COUNT/AVG/SUM+COUNT) — before the rows become
+/// visible, not at compaction.
+#[test]
+fn retractions_refused_unless_deletion_safe() {
+    let mut cat = Catalog::new();
+    cat.add_attr("p", 6);
+
+    // SUM (like MIN/MAX) cannot recognize annihilated groups at rest.
+    let retraction = Relation::from_changes(vec![AttrId(0)], vec![1], &[20], &[true]);
+    let sum_views = vec![ViewDef::new(0, vec![AttrId(0)], AggFn::Sum)];
+    let mut engine = CubetreeEngine::new(cat.clone(), CubetreeConfig::new(sum_views)).unwrap();
+    engine.load(&Relation::from_fact(vec![AttrId(0)], vec![1], &[10])).unwrap();
+    assert!(engine.ingest(&retraction).is_err(), "SUM cannot absorb retractions");
+    assert_eq!(engine.delta_stats().unwrap().resident_rows(), 0, "nothing became visible");
+
+    // AVG carries the count, so counting maintenance works.
+    let avg_views = vec![ViewDef::new(0, vec![AttrId(0)], AggFn::Avg)];
+    let mut engine = CubetreeEngine::new(cat, CubetreeConfig::new(avg_views)).unwrap();
+    engine.load(&Relation::from_fact(vec![AttrId(0)], vec![1, 1], &[10, 20])).unwrap();
+    let rows = engine.query(&SliceQuery::new(vec![], vec![(AttrId(0), 1)])).unwrap();
+    assert_eq!(rows[0].agg, 15.0);
+    engine.ingest(&retraction).unwrap();
+    let rows = engine.query(&SliceQuery::new(vec![], vec![(AttrId(0), 1)])).unwrap();
+    assert_eq!(rows[0].agg, 10.0, "retraction visible immediately");
+    engine.compact_delta().unwrap();
+    let rows = engine.query(&SliceQuery::new(vec![], vec![(AttrId(0), 1)])).unwrap();
+    assert_eq!(rows[0].agg, 10.0, "and preserved across compaction");
+}
