@@ -80,7 +80,7 @@ fn main() {
         },
         ..ServerConfig::default()
     };
-    let server = CtServer::start(Arc::clone(&streaming), server_cfg).expect("start server");
+    let server = CtServer::start(streaming.clone(), server_cfg).expect("start server");
     let addr = server.addr().to_string();
     let mut client = HttpClient::connect(&addr).expect("connect");
 

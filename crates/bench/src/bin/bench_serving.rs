@@ -19,6 +19,7 @@ use ct_tpcd::{TpcdConfig, TpcdWarehouse};
 use ct_workload::serving::{LoopMode, ServingConfig, ServingStats};
 use ct_workload::{paper_configs, run_serving};
 use cubetree::engine::{CubetreeEngine, RolapEngine};
+use cubetree::{ServingEngine, ShardSpec, ShardedConfig, ShardedEngine};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,7 +33,7 @@ struct Outcome {
     setting: Setting,
     stats: ServingStats,
     pages: u64,
-    engine: Arc<CubetreeEngine>,
+    engine: Arc<dyn ServingEngine>,
 }
 
 fn main() {
@@ -60,19 +61,30 @@ fn main() {
     for setting in settings {
         // A fresh engine per setting: every run starts from a cold buffer
         // pool, so page counts measure dispatch policy, not cache warmth.
+        // With `--shards N` the same fact is served from a partitioned
+        // forest: routes fan out across shards and gather transparently.
         let mut cfg = setup.cubetree.clone().with_threads(threads);
-        cfg.pool_pages = pool;
+        cfg.pool_pages = if args.shards > 1 { (pool / args.shards).max(128) } else { pool };
         cfg.recorder = ct_obs::Recorder::enabled();
-        let mut engine =
-            CubetreeEngine::new(w.catalog().clone(), cfg).expect("cubetree engine");
-        engine.load(&fact).expect("cubetree load");
-        let engine = Arc::new(engine);
+        let engine: Arc<dyn ServingEngine> = if args.shards > 1 {
+            let spec = ShardSpec::new(args.shards).with_partition_attr(a.partkey);
+            let mut engine =
+                ShardedEngine::new(w.catalog().clone(), ShardedConfig::new(cfg, spec))
+                    .expect("sharded engine");
+            engine.load(&fact).expect("sharded load");
+            Arc::new(engine)
+        } else {
+            let mut engine =
+                CubetreeEngine::new(w.catalog().clone(), cfg).expect("cubetree engine");
+            engine.load(&fact).expect("cubetree load");
+            Arc::new(engine)
+        };
 
         let mut server_cfg = ServerConfig::default();
         server_cfg.admission.max_batch = setting.max_batch;
         server_cfg.admission.max_delay = Duration::from_millis(2);
         let server =
-            CtServer::start(Arc::clone(&engine), server_cfg).expect("start server");
+            CtServer::start(engine.clone(), server_cfg).expect("start server");
 
         let load = ServingConfig {
             clients: setting.clients,
@@ -81,10 +93,10 @@ fn main() {
             seed: args.seed,
             ..ServingConfig::default()
         };
-        let before = engine.env().snapshot();
+        let before = engine.io_snapshot();
         let stats = run_serving(&server.addr().to_string(), w.catalog(), base.clone(), &load)
             .expect("serving run");
-        let io = engine.env().snapshot().since(&before);
+        let io = engine.io_snapshot().since(&before);
         server.join();
         outcomes.push(Outcome {
             setting,
@@ -103,6 +115,7 @@ fn main() {
     );
     report.meta("fact rows", fact.len());
     report.meta("threads", threads);
+    report.meta("shards", args.shards);
     report.meta("requests per setting", total_requests);
     report.meta("baseline max pages/query ratio", baseline_ratio);
 
@@ -154,9 +167,25 @@ fn main() {
 
     let json = args.json.clone().unwrap_or_else(|| "BENCH_serving.json".into());
     report.emit(Some(&json));
-    let envs: Vec<(&str, &ct_storage::StorageEnv)> =
-        outcomes.iter().map(|o| (o.setting.label, o.engine.env())).collect();
-    ct_bench::metrics::emit_metrics_if_requested(args.metrics.as_deref(), &envs);
+    if let Some(path) = args.metrics.as_deref() {
+        // Per-env phase trees are only well-defined for a single env; under
+        // sharding, all shard envs feed one shared recorder, so emit that
+        // combined snapshot instead.
+        let docs: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                let label =
+                    format!("{} @ {} clients", o.setting.label, o.setting.clients);
+                format!(
+                    "{}: {}",
+                    ct_server::json::escape(&label),
+                    o.engine.metrics_json()
+                )
+            })
+            .collect();
+        std::fs::write(path, format!("{{{}}}", docs.join(", "))).expect("write metrics");
+        eprintln!("(metrics written to {path})");
+    }
 
     let mut failed = false;
     for o in &outcomes {

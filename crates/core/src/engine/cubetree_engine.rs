@@ -1,17 +1,19 @@
 //! The Cubetree storage engine (the paper's proposal).
 
-use crate::delta::DeltaStats;
-use crate::engine::{BatchResult, RolapEngine};
+use crate::delta::{DeltaConfig, DeltaStats};
+use crate::engine::{BatchResult, RolapEngine, ServingEngine, ViewInfo};
 use crate::forest::CubetreeForest;
 use crate::query::{
-    execute_forest_query, execute_forest_query_batch, execute_query_with_delta,
+    execute_forest_query, execute_forest_query_batch, execute_generation_query_batch_with_delta,
+    execute_query_with_delta, plan_generation_query,
 };
 use ct_common::query::QueryRow;
 use ct_common::{AttrId, Catalog, CostModel, CtError, Result, SliceQuery, ViewDef, ViewId};
 use ct_cube::Relation;
 use ct_rtree::LeafFormat;
 use ct_storage::env::DEFAULT_POOL_PAGES;
-use ct_storage::{Parallelism, StorageEnv};
+use ct_storage::{IoSnapshot, Parallelism, StorageEnv};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of a [`CubetreeEngine`].
 #[derive(Clone, Debug)]
@@ -102,6 +104,32 @@ impl CubetreeEngine {
             config.faults.clone(),
         )?;
         Ok(CubetreeEngine { env, catalog, config, forest: None })
+    }
+
+    /// Opens (or creates) an engine over a *persistent* directory.
+    ///
+    /// The directory is created if missing and recovered through
+    /// [`StorageEnv::open_at`] (torn manifest commits roll back, orphaned
+    /// files are reclaimed). When a committed manifest is present the forest
+    /// is re-attached via [`CubetreeForest::open`] and the engine is
+    /// immediately queryable; on a fresh directory the caller loads it with
+    /// [`RolapEngine::load`] as usual. This is how the sharded layer gives
+    /// every shard its own recoverable environment.
+    pub fn open_at(dir: &std::path::Path, catalog: Catalog, config: CubetreeConfig) -> Result<Self> {
+        let (env, _recovery) = StorageEnv::open_at(
+            dir,
+            config.pool_pages,
+            config.cost,
+            Parallelism::new(config.threads),
+            config.recorder.clone(),
+            config.faults.clone(),
+        )?;
+        let forest = if env.manifest().entries.is_empty() {
+            None
+        } else {
+            Some(CubetreeForest::open(&env, &config.views, &config.replicas, config.format)?)
+        };
+        Ok(CubetreeEngine { env, catalog, config, forest })
     }
 
     /// The built forest (after [`RolapEngine::load`]).
@@ -217,6 +245,143 @@ impl RolapEngine for CubetreeEngine {
 
     fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+}
+
+/// Builds the `/views` listing from one pinned generation. Shared with the
+/// sharded engine, which merges per-shard entry counts over the same shape.
+pub(crate) fn view_infos(forest: &CubetreeForest, catalog: &Catalog) -> (u64, Vec<ViewInfo>) {
+    let pin = forest.pin();
+    let views = pin
+        .placements()
+        .iter()
+        .map(|p| ViewInfo {
+            id: p.def.id.0,
+            name: p.def.display_name(catalog),
+            projection: p
+                .def
+                .projection
+                .iter()
+                .map(|a| catalog.attr(*a).name.clone())
+                .collect(),
+            agg: p.def.agg,
+            entries: pin.entries_of(p.def.id),
+            replica: p.logical != p.def.id,
+        })
+        .collect();
+    (pin.number(), views)
+}
+
+impl ServingEngine for CubetreeEngine {
+    fn loaded(&self) -> bool {
+        self.forest.is_some()
+    }
+
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn recorder(&self) -> &ct_obs::Recorder {
+        self.env.recorder()
+    }
+
+    fn generation(&self) -> u64 {
+        self.forest.as_ref().map_or(0, CubetreeForest::generation_number)
+    }
+
+    fn plan_check(&self, q: &SliceQuery) -> Result<()> {
+        let forest = self.forest_ref()?;
+        plan_generation_query(&forest.pin(), &self.catalog, q).map(|_| ())
+    }
+
+    fn views(&self) -> Result<(u64, Vec<ViewInfo>)> {
+        Ok(view_infos(self.forest_ref()?, &self.catalog))
+    }
+
+    /// One pin (and one delta snapshot) for the whole batch: answers and
+    /// the stamped generation number come from the same snapshot even if a
+    /// refresh or delta compaction commits midway.
+    ///
+    /// Execution is panic-isolated: a panicking query (or batch) is
+    /// answered as an error instead of unwinding into the server's batcher
+    /// thread. Without this, one poisoned batch would strand every queued
+    /// waiter and permanently eat the admission queue's capacity.
+    fn serve_batch(
+        &self,
+        queries: &[SliceQuery],
+    ) -> (u64, Vec<std::result::Result<Vec<QueryRow>, String>>) {
+        let Some(forest) = self.forest.as_ref() else {
+            return (0, queries.iter().map(|_| Err("engine not loaded".to_string())).collect());
+        };
+        let (pin, delta) = forest.pin_with_delta();
+        let generation = pin.number();
+        let answers = if self.env.parallelism().is_parallel() && queries.len() > 1 {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute_generation_query_batch_with_delta(
+                    &pin,
+                    delta.as_option(),
+                    &self.env,
+                    &self.catalog,
+                    queries,
+                )
+            }));
+            match outcome {
+                Ok(Ok(out)) => out.results.into_iter().map(Ok).collect(),
+                Ok(Err(e)) => {
+                    let msg = format!("batch execution failed: {e}");
+                    queries.iter().map(|_| Err(msg.clone())).collect()
+                }
+                Err(_) => {
+                    let msg = "batch execution panicked".to_string();
+                    queries.iter().map(|_| Err(msg.clone())).collect()
+                }
+            }
+        } else {
+            queries
+                .iter()
+                .map(|q| {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        execute_query_with_delta(
+                            &pin,
+                            delta.as_option(),
+                            &self.env,
+                            &self.catalog,
+                            q,
+                        )
+                    }));
+                    match outcome {
+                        Ok(Ok(rows)) => Ok(rows),
+                        Ok(Err(e)) => Err(format!("query execution failed: {e}")),
+                        Err(_) => Err("query execution panicked".to_string()),
+                    }
+                })
+                .collect()
+        };
+        (generation, answers)
+    }
+
+    fn refresh(&self, delta: &Relation) -> Result<()> {
+        CubetreeEngine::refresh(self, delta)
+    }
+
+    fn ingest(&self, rows: &Relation) -> Result<u64> {
+        CubetreeEngine::ingest(self, rows)
+    }
+
+    fn delta_stats(&self) -> Option<DeltaStats> {
+        CubetreeEngine::delta_stats(self)
+    }
+
+    fn compaction_due(&self, config: &DeltaConfig) -> bool {
+        self.forest.as_ref().is_some_and(|f| f.delta().should_compact(config))
+    }
+
+    fn compact_delta(&self) -> Result<bool> {
+        CubetreeEngine::compact_delta(self)
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.env.snapshot()
     }
 }
 

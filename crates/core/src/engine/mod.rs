@@ -15,12 +15,14 @@ mod cubetree_engine;
 
 pub use conventional::{ConventionalConfig, ConventionalEngine, LoadBreakdown};
 pub use cubetree_engine::{CubetreeConfig, CubetreeEngine};
+pub(crate) use cubetree_engine::view_infos;
 
+use crate::delta::{DeltaConfig, DeltaStats};
 use crate::sched::SchedSummary;
 use ct_common::query::QueryRow;
-use ct_common::{Catalog, Result, SliceQuery};
+use ct_common::{AggFn, Catalog, Result, SliceQuery};
 use ct_cube::Relation;
-use ct_storage::StorageEnv;
+use ct_storage::{IoSnapshot, StorageEnv};
 
 /// Results of answering a whole query batch.
 pub struct BatchResult {
@@ -65,4 +67,86 @@ pub trait RolapEngine {
 
     /// The warehouse catalog.
     fn catalog(&self) -> &Catalog;
+}
+
+/// One materialized placement as reported by [`ServingEngine::views`].
+#[derive(Clone, Debug)]
+pub struct ViewInfo {
+    /// Logical view id.
+    pub id: u32,
+    /// Human-readable view name (`V{a, b}` style).
+    pub name: String,
+    /// Projection attribute names, in stored sort order.
+    pub projection: Vec<String>,
+    /// The view's aggregate function.
+    pub agg: AggFn,
+    /// Materialized entries (summed across shards for a sharded engine).
+    pub entries: u64,
+    /// True for a sort-order replica of another placement.
+    pub replica: bool,
+}
+
+/// The engine face the HTTP serving layer binds to: batched reads under
+/// snapshot pins, streaming and bulk writes, delta accounting, and the
+/// metrics surface. Object-safe so one server binary can front either the
+/// single [`CubetreeEngine`] or a [`crate::shard::ShardedEngine`] — routes
+/// fan out across shards and merge *before* serialization, transparently to
+/// clients.
+pub trait ServingEngine: Send + Sync {
+    /// True once a forest is materialized (serving requires a loaded engine).
+    fn loaded(&self) -> bool;
+
+    /// The warehouse catalog (request validation resolves names against it).
+    fn catalog(&self) -> &Catalog;
+
+    /// The engine's metrics recorder.
+    fn recorder(&self) -> &ct_obs::Recorder;
+
+    /// A monotonic freshness stamp: the committed generation number, or for
+    /// a sharded engine the sum of per-shard generations (shards refresh
+    /// independently, so a single per-forest number does not exist).
+    fn generation(&self) -> u64;
+
+    /// Checks that `q` is answerable from the materialized views, without
+    /// executing it (the HTTP layer turns a failure into `400`).
+    fn plan_check(&self, q: &SliceQuery) -> Result<()>;
+
+    /// The materialized placements plus the generation stamp they were
+    /// listed under.
+    fn views(&self) -> Result<(u64, Vec<ViewInfo>)>;
+
+    /// Executes one admission-formed batch under a single snapshot per
+    /// storage environment (one MVCC pin, plus one per shard for a sharded
+    /// engine) and returns the generation stamp with per-query outcomes.
+    ///
+    /// Execution must be panic-isolated: a poisoned query (or batch) comes
+    /// back as `Err` strings rather than unwinding into the caller, so the
+    /// server's batcher thread survives.
+    fn serve_batch(&self, queries: &[SliceQuery]) -> (u64, Vec<std::result::Result<Vec<QueryRow>, String>>);
+
+    /// Bulk-incremental refresh through a shared reference (merge-pack the
+    /// next generation(s) while concurrent reads keep their pins).
+    fn refresh(&self, delta: &Relation) -> Result<()>;
+
+    /// Streams fact rows into the in-memory delta tier(s); returns rows
+    /// absorbed. A sharded engine routes rows by the partition key.
+    fn ingest(&self, rows: &Relation) -> Result<u64>;
+
+    /// Resident-delta accounting, summed across shards (`None` before load).
+    fn delta_stats(&self) -> Option<DeltaStats>;
+
+    /// True when any delta tier has crossed the compaction thresholds.
+    fn compaction_due(&self, config: &DeltaConfig) -> bool;
+
+    /// Merge-packs resident delta rows into the next generation(s); `true`
+    /// if anything compacted.
+    fn compact_delta(&self) -> Result<bool>;
+
+    /// The `/metrics` JSON body.
+    fn metrics_json(&self) -> String {
+        self.recorder().snapshot().to_json()
+    }
+
+    /// Physical I/O summed over every storage environment the engine owns.
+    fn io_snapshot(&self) -> IoSnapshot;
 }

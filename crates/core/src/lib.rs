@@ -57,9 +57,14 @@ mod jobs;
 pub mod query;
 pub mod sched;
 pub mod select_mapping;
+pub mod shard;
 
 pub use delta::{DeltaConfig, DeltaSnapshot, DeltaStats, DeltaTier};
-pub use engine::{ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, RolapEngine};
+pub use engine::{
+    ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, RolapEngine,
+    ServingEngine, ViewInfo,
+};
 pub use forest::{CubetreeForest, Generation, ReaderPin};
 pub use sched::SchedSummary;
 pub use select_mapping::{select_mapping, MappingPlan, TreeSpec};
+pub use shard::{ShardRouter, ShardSpec, ShardedConfig, ShardedEngine};

@@ -12,11 +12,11 @@
 use crate::delta::DeltaSnapshot;
 use crate::forest::{CubetreeForest, Generation};
 use crate::jobs::{run_jobs, Job};
-use crate::sched::{schedule, SchedSummary};
+use crate::sched::SchedSummary;
 use ct_common::query::QueryRow;
 use ct_common::{
     AggFn, AggState, AttrId, Catalog, CtError, Hierarchy, Rect, Result, SliceQuery, ViewDef,
-    COORD_MAX,
+    ViewId, COORD_MAX,
 };
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -181,13 +181,32 @@ pub fn plan_generation_query(
     catalog: &Catalog,
     q: &SliceQuery,
 ) -> Result<ForestPlan> {
+    plan_query_with_entries(gen.placements(), |id| gen.entries_of(id), catalog, q)
+}
+
+/// The planner core, over an explicit entry-count source. The sharded
+/// engine plans each query *once* against the entry counts summed across
+/// every shard's pinned generation, then executes the chosen placement on
+/// all of them: per-shard planning could legitimately pick different views
+/// on different shards (entry counts diverge; empty shards tie everywhere),
+/// and views carry their own aggregate functions, so gathered partials must
+/// all come from one placement to be coherent.
+///
+/// # Errors
+/// [`CtError::Unsupported`] if no placement derives the query's node.
+pub fn plan_query_with_entries(
+    placements: &[crate::forest::PlacedView],
+    entries_of: impl Fn(ViewId) -> u64,
+    catalog: &Catalog,
+    q: &SliceQuery,
+) -> Result<ForestPlan> {
     let node = q.node();
     let mut best: Option<ForestPlan> = None;
-    for (i, p) in gen.placements().iter().enumerate() {
+    for (i, p) in placements.iter().enumerate() {
         if !catalog.derivable_from(&node, &p.def.projection) {
             continue;
         }
-        let entries = gen.entries_of(p.def.id) as f64;
+        let entries = entries_of(p.def.id) as f64;
         // Selectivity from predicates on attributes the view stores
         // directly; a bounded range contributes its span fraction.
         let mut selectivity = 1.0f64;
@@ -309,10 +328,70 @@ pub fn execute_query_with_delta(
     catalog: &Catalog,
     q: &SliceQuery,
 ) -> Result<Vec<QueryRow>> {
+    Ok(execute_query_partial(gen, delta, env, catalog, q)?.finish())
+}
+
+/// One executed query's *unfinalized* aggregate groups: the scatter-gather
+/// unit of the sharded engine. Partial answers for the same query from
+/// different shards (or any disjoint sources) merge with
+/// [`PartialAnswer::absorb`]; [`PartialAnswer::finish`] is then called
+/// exactly once, so AVG finalization and retraction annihilation happen
+/// after every source has contributed. Because [`ct_common::AggState::merge`]
+/// is associative and commutative over integers, the finalized rows are
+/// bit-identical however the sources were partitioned.
+pub struct PartialAnswer<'a> {
+    agg: RollupAggregator<'a>,
+    agg_fn: AggFn,
+}
+
+impl<'a> PartialAnswer<'a> {
+    /// Merges another shard's partial answer for the *same query*.
+    pub fn absorb(&mut self, other: PartialAnswer<'_>) {
+        debug_assert_eq!(
+            self.agg_fn, other.agg_fn,
+            "partial answers for one query must share an aggregate function"
+        );
+        self.agg.absorb(other.agg);
+    }
+
+    /// Finalizes the gathered groups (AVG division, annihilated-group
+    /// filtering) into result rows. Call once, after every absorb.
+    pub fn finish(self) -> Vec<QueryRow> {
+        self.agg.finish(self.agg_fn)
+    }
+}
+
+/// The single-query executor in partial form: identical planning, tree
+/// scan, metrics and delta merging to [`execute_query_with_delta`], but the
+/// groups come back unfinalized so a sharded caller can gather partials
+/// from several forests before one [`PartialAnswer::finish`].
+pub fn execute_query_partial<'a>(
+    gen: &Generation,
+    delta: Option<&DeltaSnapshot>,
+    env: &ct_storage::StorageEnv,
+    catalog: &'a Catalog,
+    q: &SliceQuery,
+) -> Result<PartialAnswer<'a>> {
+    let plan = plan_generation_query(gen, catalog, q)?;
+    execute_planned_query_partial(gen, delta, env, catalog, q, &plan)
+}
+
+/// [`execute_query_partial`] with the access path already chosen. The
+/// sharded engine plans once across all shards (see
+/// [`plan_query_with_entries`]) and then runs the *same* placement on every
+/// shard — placements are identical across shard forests, so the index is
+/// portable.
+pub fn execute_planned_query_partial<'a>(
+    gen: &Generation,
+    delta: Option<&DeltaSnapshot>,
+    env: &ct_storage::StorageEnv,
+    catalog: &'a Catalog,
+    q: &SliceQuery,
+    plan: &ForestPlan,
+) -> Result<PartialAnswer<'a>> {
     // Root phase: successive queries accumulate under one "query" span whose
     // I/O delta reconciles against the global counters.
     let _phase = env.phase("query");
-    let plan = plan_generation_query(gen, catalog, q)?;
     let placement = &gen.placements()[plan.placement];
     let tree = gen.tree(placement.tree);
     let region = query_region(&placement.def, tree.dims(), q);
@@ -340,7 +419,7 @@ pub fn execute_query_with_delta(
             recorder.observe("core.query.delta_rows", d.groups());
         }
     }
-    Ok(agg.finish(placement.def.agg))
+    Ok(PartialAnswer { agg, agg_fn: placement.def.agg })
 }
 
 /// Results of one scheduled batch execution.
@@ -408,12 +487,49 @@ pub fn execute_generation_query_batch_with_delta(
     catalog: &Catalog,
     queries: &[SliceQuery],
 ) -> Result<BatchOutput> {
+    let (partials, sched) =
+        execute_generation_query_batch_partial(gen, delta, env, catalog, queries)?;
+    let results = partials.into_iter().map(PartialAnswer::finish).collect();
+    Ok(BatchOutput { results, sched })
+}
+
+/// The batched executor in partial form: the scheduled per-tree sweeps,
+/// shared scans, readahead and delta merging of
+/// [`execute_generation_query_batch_with_delta`], returning one unfinalized
+/// [`PartialAnswer`] per query (positionally aligned with the batch) for a
+/// sharded caller to gather before finishing.
+pub fn execute_generation_query_batch_partial<'a>(
+    gen: &Generation,
+    delta: Option<&DeltaSnapshot>,
+    env: &ct_storage::StorageEnv,
+    catalog: &'a Catalog,
+    queries: &[SliceQuery],
+) -> Result<(Vec<PartialAnswer<'a>>, SchedSummary)> {
+    let plans = queries
+        .iter()
+        .map(|q| plan_generation_query(gen, catalog, q))
+        .collect::<Result<Vec<_>>>()?;
+    execute_planned_query_batch_partial(gen, delta, env, catalog, queries, &plans)
+}
+
+/// [`execute_generation_query_batch_partial`] with every access path
+/// already chosen (one plan per query, positionally aligned). See
+/// [`plan_query_with_entries`] for why the sharded engine must plan
+/// centrally.
+pub fn execute_planned_query_batch_partial<'a>(
+    gen: &Generation,
+    delta: Option<&DeltaSnapshot>,
+    env: &ct_storage::StorageEnv,
+    catalog: &'a Catalog,
+    queries: &[SliceQuery],
+    plans: &[ForestPlan],
+) -> Result<(Vec<PartialAnswer<'a>>, SchedSummary)> {
     let delta = delta.and_then(DeltaSnapshot::as_option);
     // One root "query" phase around the whole batch, opened and dropped on
     // the calling thread so root phases never overlap and the I/O delta
     // reconciles against the global counters.
     let phase = env.phase("query");
-    let (groups, sched) = schedule(gen, catalog, queries)?;
+    let (groups, sched) = crate::sched::schedule_planned(gen, queries, plans)?;
     let recorder = env.recorder().clone();
     if recorder.is_enabled() {
         recorder.add("query.sched.batches", 1);
@@ -421,7 +537,7 @@ pub fn execute_generation_query_batch_with_delta(
         recorder.add("query.sched.reordered", sched.reordered);
         recorder.add("query.sched.shared_scans", sched.shared_scans);
     }
-    let slots: Vec<Mutex<Option<Vec<QueryRow>>>> =
+    let slots: Vec<Mutex<Option<PartialAnswer<'a>>>> =
         queries.iter().map(|_| Mutex::new(None)).collect();
     let mut jobs: Vec<Job<'_>> = Vec::with_capacity(groups.len());
     for group in groups {
@@ -484,8 +600,8 @@ pub fn execute_generation_query_batch_with_delta(
                             recorder.observe("core.query.delta_rows", d.groups());
                         }
                     }
-                    let rows = agg.finish(placement.def.agg);
-                    *slots[sq.index].lock().unwrap_or_else(|p| p.into_inner()) = Some(rows);
+                    *slots[sq.index].lock().unwrap_or_else(|p| p.into_inner()) =
+                        Some(PartialAnswer { agg, agg_fn: placement.def.agg });
                 }
                 i = j;
             }
@@ -494,7 +610,7 @@ pub fn execute_generation_query_batch_with_delta(
     }
     run_jobs(env.parallelism().threads, jobs)?;
     drop(phase);
-    let results = slots
+    let partials = slots
         .into_iter()
         .map(|s| {
             s.into_inner()
@@ -502,7 +618,7 @@ pub fn execute_generation_query_batch_with_delta(
                 .ok_or_else(|| CtError::invalid("batch execution left a query unanswered"))
         })
         .collect::<Result<Vec<_>>>()?;
-    Ok(BatchOutput { results, sched })
+    Ok((partials, sched))
 }
 
 #[cfg(test)]

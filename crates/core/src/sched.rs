@@ -12,8 +12,8 @@
 //! one *shared scan*: a single leaf pass feeding every query's aggregator.
 
 use crate::forest::Generation;
-use crate::query::{plan_generation_query, query_region, ForestPlan};
-use ct_common::{Catalog, Point, Rect, Result, SliceQuery};
+use crate::query::{query_region, ForestPlan};
+use ct_common::{Point, Rect, Result, SliceQuery};
 use std::collections::BTreeMap;
 
 /// Scheduling statistics for one executed batch.
@@ -43,26 +43,24 @@ pub(crate) struct TreeGroup {
     pub queries: Vec<SchedQuery>,
 }
 
-/// Plans every query and partitions the batch into per-tree groups sorted
-/// in leaf-sweep order.
-///
-/// Queries are planned in arrival order, so a planning failure surfaces for
-/// the first offending query regardless of how the batch would have been
-/// executed — the same error the sequential loop reports.
-pub(crate) fn schedule(
+/// Partitions an already-planned batch into per-tree groups sorted in
+/// leaf-sweep order. Callers plan first (the sharded engine plans each
+/// query once across all shards and hands every shard the same plans), so
+/// per-shard scheduling never diverges on view choice.
+pub(crate) fn schedule_planned(
     gen: &Generation,
-    catalog: &Catalog,
     queries: &[SliceQuery],
+    plans: &[ForestPlan],
 ) -> Result<(Vec<TreeGroup>, SchedSummary)> {
+    debug_assert_eq!(queries.len(), plans.len());
     let mut per_tree: BTreeMap<usize, Vec<SchedQuery>> = BTreeMap::new();
-    for (index, q) in queries.iter().enumerate() {
-        let plan = plan_generation_query(gen, catalog, q)?;
+    for (index, (q, plan)) in queries.iter().zip(plans).enumerate() {
         let placement = &gen.placements()[plan.placement];
         let region = query_region(&placement.def, gen.tree(placement.tree).dims(), q);
         per_tree
             .entry(placement.tree)
             .or_default()
-            .push(SchedQuery { index, plan, region });
+            .push(SchedQuery { index, plan: plan.clone(), region });
     }
 
     let mut summary = SchedSummary { groups: per_tree.len() as u64, ..Default::default() };

@@ -13,17 +13,13 @@
 //! keeping latency bounded instead of letting the queue grow without limit.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ct_common::query::QueryRow;
 use ct_common::SliceQuery;
-use cubetree::query::{
-    execute_generation_query_batch_with_delta, execute_query_with_delta,
-};
-use cubetree::{CubetreeEngine, RolapEngine};
+use cubetree::ServingEngine;
 
 /// Tuning knobs for the admission queue and batch former.
 #[derive(Clone, Debug)]
@@ -97,13 +93,13 @@ pub struct Admission {
 impl Admission {
     /// Creates the queue and spawns the batch-former thread, which executes
     /// batches against `engine` until [`Admission::shutdown`].
-    pub fn start(engine: Arc<CubetreeEngine>, config: AdmissionConfig) -> Admission {
+    pub fn start(engine: Arc<dyn ServingEngine>, config: AdmissionConfig) -> Admission {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let recorder = engine.env().recorder().clone();
+        let recorder = engine.recorder().clone();
         let admission = Admission {
             shared: Arc::clone(&shared),
             config: config.clone(),
@@ -168,8 +164,8 @@ impl Admission {
 
 /// The batch-former loop: wait for work, form a batch (size or deadline
 /// triggered), execute it, answer every waiter.
-fn batcher(engine: Arc<CubetreeEngine>, shared: Arc<Shared>, config: AdmissionConfig) {
-    let recorder = engine.env().recorder().clone();
+fn batcher(engine: Arc<dyn ServingEngine>, shared: Arc<Shared>, config: AdmissionConfig) {
+    let recorder = engine.recorder().clone();
     let flushes = recorder.counter("server.batch.flushes");
     let batch_size = recorder.histogram("server.batch.size");
     let formed_us = recorder.histogram("server.batch.formed_us");
@@ -209,75 +205,24 @@ fn batcher(engine: Arc<CubetreeEngine>, shared: Arc<Shared>, config: AdmissionCo
         flushes.inc();
         batch_size.record(batch.len() as u64);
         formed_us.record(batch[0].enqueued_at.elapsed().as_micros() as u64);
-        execute(&engine, batch);
+        execute(engine.as_ref(), batch);
     }
 }
 
-/// Executes one formed batch against a single pinned generation (merged
-/// with the delta snapshot taken under the same pin) and delivers per-query
-/// answers.
+/// Executes one formed batch through [`ServingEngine::serve_batch`] — a
+/// single pinned snapshot per storage environment (one pin, or one per
+/// shard for a sharded engine) — and delivers per-query answers.
 ///
-/// Execution is panic-isolated: a panicking query (or batch) is answered as
-/// an error to its waiters instead of killing the batcher thread. Without
-/// this, one poisoned batch would strand every queued waiter in `recv()`
-/// and permanently eat the queue's capacity — the depth gauge would freeze
-/// above zero and every later submit would see spurious 429s.
-fn execute(engine: &CubetreeEngine, batch: Vec<Pending>) {
-    let Some(forest) = engine.forest() else {
-        for p in batch {
-            let _ = p.reply.send(Err("engine not loaded".to_string()));
-        }
-        return;
-    };
-    // One pin (and one delta snapshot) for the whole batch: answers and the
-    // stamped generation number come from the same snapshot even if a
-    // refresh or delta compaction commits midway.
-    let (pin, delta) = forest.pin_with_delta();
-    let generation = pin.number();
+/// Execution is panic-isolated by the engine: a panicking query (or batch)
+/// is answered as an error to its waiters instead of killing the batcher
+/// thread. Without this, one poisoned batch would strand every queued
+/// waiter in `recv()` and permanently eat the queue's capacity — the depth
+/// gauge would freeze above zero and every later submit would see spurious
+/// 429s.
+fn execute(engine: &dyn ServingEngine, batch: Vec<Pending>) {
     let queries: Vec<SliceQuery> = batch.iter().map(|p| p.query.clone()).collect();
-    let answers: Vec<Result<Vec<QueryRow>, String>> =
-        if engine.env().parallelism().is_parallel() && queries.len() > 1 {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                execute_generation_query_batch_with_delta(
-                    &pin,
-                    delta.as_option(),
-                    engine.env(),
-                    engine.catalog(),
-                    &queries,
-                )
-            }));
-            match outcome {
-                Ok(Ok(out)) => out.results.into_iter().map(Ok).collect(),
-                Ok(Err(e)) => {
-                    let msg = format!("batch execution failed: {e}");
-                    queries.iter().map(|_| Err(msg.clone())).collect()
-                }
-                Err(_) => {
-                    let msg = "batch execution panicked".to_string();
-                    queries.iter().map(|_| Err(msg.clone())).collect()
-                }
-            }
-        } else {
-            queries
-                .iter()
-                .map(|q| {
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        execute_query_with_delta(
-                            &pin,
-                            delta.as_option(),
-                            engine.env(),
-                            engine.catalog(),
-                            q,
-                        )
-                    }));
-                    match outcome {
-                        Ok(Ok(rows)) => Ok(rows),
-                        Ok(Err(e)) => Err(format!("query execution failed: {e}")),
-                        Err(_) => Err("query execution panicked".to_string()),
-                    }
-                })
-                .collect()
-        };
+    let (generation, answers): (u64, Vec<Result<Vec<QueryRow>, String>>) =
+        engine.serve_batch(&queries);
     for (p, answer) in batch.into_iter().zip(answers) {
         let _ = p.reply.send(answer.map(|rows| QueryAnswer { generation, rows }));
     }
@@ -288,7 +233,7 @@ mod tests {
     use super::*;
     use ct_common::{AggFn, Catalog, ViewDef};
     use ct_cube::Relation;
-    use cubetree::engine::{CubetreeConfig, RolapEngine};
+    use cubetree::engine::{CubetreeConfig, CubetreeEngine, RolapEngine};
 
     fn tiny_engine(threads: usize) -> Arc<CubetreeEngine> {
         let mut catalog = Catalog::new();
@@ -306,14 +251,14 @@ mod tests {
     }
 
     fn query_for(engine: &CubetreeEngine) -> SliceQuery {
-        let p = engine.catalog().attr_by_name("p").unwrap();
+        let p = RolapEngine::catalog(engine).attr_by_name("p").unwrap();
         SliceQuery::new(vec![p], vec![])
     }
 
     #[test]
     fn answers_match_the_sequential_engine() {
         let engine = tiny_engine(1);
-        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
         let q = query_for(&engine);
         let rx = admission.submit(q.clone()).unwrap();
         let answer = rx.recv().unwrap().unwrap();
@@ -337,7 +282,7 @@ mod tests {
             max_delay: Duration::from_millis(500),
             retry_after_secs: 7,
         };
-        let admission = Admission::start(Arc::clone(&engine), cfg);
+        let admission = Admission::start(engine.clone(), cfg);
         let q = query_for(&engine);
         let rx1 = admission.submit(q.clone()).unwrap();
         let rx2 = admission.submit(q.clone()).unwrap();
@@ -358,7 +303,7 @@ mod tests {
             max_delay: Duration::from_millis(200),
             ..AdmissionConfig::default()
         };
-        let admission = Admission::start(Arc::clone(&engine), cfg);
+        let admission = Admission::start(engine.clone(), cfg);
         let q = query_for(&engine);
         let receivers: Vec<_> =
             (0..8).map(|_| admission.submit(q.clone()).unwrap()).collect();
@@ -372,8 +317,8 @@ mod tests {
     fn panicked_batch_answers_errors_and_keeps_serving() {
         let engine = tiny_engine(1);
         let recorder = engine.env().recorder().clone();
-        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
-        let p = engine.catalog().attr_by_name("p").unwrap();
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
+        let p = RolapEngine::catalog(&*engine).attr_by_name("p").unwrap();
         // An inverted range never passes HTTP validation, but a struct
         // literal reaches the executor, where Rect::new panics. The batcher
         // must answer it as an error and survive.
@@ -394,7 +339,7 @@ mod tests {
     fn scheduler_error_releases_depth_capacity() {
         let engine = tiny_engine(1);
         let recorder = engine.env().recorder().clone();
-        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
         // An attribute outside every view's derivation set: planning fails
         // with a clean error, which must come back as Err, not eat a slot.
         let alien = ct_common::AttrId(2);
@@ -409,7 +354,7 @@ mod tests {
     #[test]
     fn submit_after_shutdown_is_refused_not_stranded() {
         let engine = tiny_engine(1);
-        let admission = Admission::start(Arc::clone(&engine), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
         admission.shutdown();
         // The batcher may already be gone; a submit that enqueued anyway
         // would block its caller in recv() forever. It must refuse instead.

@@ -3,7 +3,7 @@
 //! `POST /ingest` lands rows in the engine's in-memory delta tier; this
 //! module's [`Compactor`] thread watches the tier's size/age against
 //! [`IngestConfig`] thresholds and triggers the forest's merge-pack
-//! ([`CubetreeEngine::compact_delta`]) when any is exceeded. Ingestion
+//! ([`ServingEngine::compact_delta`]) when any is exceeded. Ingestion
 //! never stalls behind a compaction — the tier rotates the active memtable
 //! to an immutable tier and keeps absorbing — and a failed compaction
 //! leaves the memtables resident (still answering queries) for the next
@@ -15,7 +15,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use cubetree::delta::DeltaConfig;
-use cubetree::{CubetreeEngine, RolapEngine};
+use cubetree::ServingEngine;
 
 /// Streaming-ingestion tuning: when to compact, and when to push back.
 #[derive(Clone, Debug)]
@@ -58,7 +58,7 @@ pub struct Compactor {
 
 impl Compactor {
     /// Spawns the compaction loop over `engine`.
-    pub fn start(engine: Arc<CubetreeEngine>, config: IngestConfig) -> Compactor {
+    pub fn start(engine: Arc<dyn ServingEngine>, config: IngestConfig) -> Compactor {
         let shared = Arc::new(Shared { stop: Mutex::new(false), wake: Condvar::new() });
         let run_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -83,8 +83,8 @@ impl Compactor {
     }
 }
 
-fn run(engine: Arc<CubetreeEngine>, shared: Arc<Shared>, config: IngestConfig) {
-    let errors = engine.env().recorder().counter("ingest.compact.errors");
+fn run(engine: Arc<dyn ServingEngine>, shared: Arc<Shared>, config: IngestConfig) {
+    let errors = engine.recorder().counter("ingest.compact.errors");
     loop {
         {
             let stop = shared.stop.lock().unwrap_or_else(|e| e.into_inner());
@@ -99,9 +99,7 @@ fn run(engine: Arc<CubetreeEngine>, shared: Arc<Shared>, config: IngestConfig) {
                 break;
             }
         }
-        let due = engine
-            .forest()
-            .is_some_and(|f| f.delta().should_compact(&config.delta));
+        let due = engine.compaction_due(&config.delta);
         if due {
             if let Err(e) = engine.compact_delta() {
                 // The memtables stay resident and queryable; log, count,
@@ -124,7 +122,7 @@ mod tests {
     use super::*;
     use ct_common::{AggFn, Catalog, SliceQuery, ViewDef};
     use ct_cube::Relation;
-    use cubetree::engine::{CubetreeConfig, RolapEngine};
+    use cubetree::engine::{CubetreeConfig, CubetreeEngine, RolapEngine};
     use std::time::Instant;
 
     fn engine() -> Arc<CubetreeEngine> {
@@ -140,8 +138,8 @@ mod tests {
     #[test]
     fn compacts_when_thresholds_trip_and_drains_on_shutdown() {
         let e = engine();
-        let p = e.catalog().attr_by_name("p").unwrap();
-        let s = e.catalog().attr_by_name("s").unwrap();
+        let p = RolapEngine::catalog(&*e).attr_by_name("p").unwrap();
+        let s = RolapEngine::catalog(&*e).attr_by_name("s").unwrap();
         let config = IngestConfig {
             delta: DeltaConfig {
                 max_rows: 2,
@@ -151,7 +149,7 @@ mod tests {
             check_interval: Duration::from_millis(5),
             ..IngestConfig::default()
         };
-        let compactor = Compactor::start(Arc::clone(&e), config);
+        let compactor = Compactor::start(e.clone(), config);
         e.ingest(&Relation::from_fact(vec![p, s], vec![2, 2, 3, 3], &[5, 7])).unwrap();
         let deadline = Instant::now() + Duration::from_secs(10);
         while e.delta_stats().unwrap().resident_rows() > 0 {

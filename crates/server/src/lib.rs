@@ -69,7 +69,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ct_common::{CtError, Result};
-use cubetree::{CubetreeEngine, RolapEngine};
+use cubetree::ServingEngine;
 
 use admission::{Admission, AdmissionConfig};
 use compactor::{Compactor, IngestConfig};
@@ -98,7 +98,7 @@ impl Default for ServerConfig {
 }
 
 struct ServerState {
-    engine: Arc<CubetreeEngine>,
+    engine: Arc<dyn ServingEngine>,
     admission: Admission,
     compactor: Compactor,
     ingest: IngestConfig,
@@ -119,13 +119,16 @@ pub struct ServerHandle {
 }
 
 impl CtServer {
-    /// Binds `config.addr` and starts serving `engine`.
+    /// Binds `config.addr` and starts serving `engine` — the single
+    /// [`cubetree::CubetreeEngine`] or a [`cubetree::ShardedEngine`]
+    /// (`Arc<ConcreteEngine>` coerces at the call site); routes fan out
+    /// across shards and merge before serialization.
     ///
     /// # Errors
     /// [`CtError::InvalidArgument`] if the engine has not been loaded;
     /// [`CtError::Io`] if the listener cannot bind.
-    pub fn start(engine: Arc<CubetreeEngine>, config: ServerConfig) -> Result<ServerHandle> {
-        if engine.forest().is_none() {
+    pub fn start(engine: Arc<dyn ServingEngine>, config: ServerConfig) -> Result<ServerHandle> {
+        if !engine.loaded() {
             return Err(CtError::invalid("load the engine before starting the server"));
         }
         let listener = TcpListener::bind(&config.addr)?;
@@ -225,7 +228,7 @@ fn connection_loop(stream: TcpStream, state: Arc<ServerState>) {
     // client holds its connection open idle.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_nodelay(true);
-    let recorder = state.engine.env().recorder().clone();
+    let recorder = state.engine.recorder().clone();
     let requests = recorder.counter("server.http.requests");
     let latency_us = recorder.histogram("server.http.latency_us");
     let mut reader = BufReader::new(stream);
@@ -256,7 +259,7 @@ fn connection_loop(stream: TcpStream, state: Arc<ServerState>) {
         requests.inc();
         let started = Instant::now();
         let response = routes::dispatch(
-            &state.engine,
+            state.engine.as_ref(),
             &state.admission,
             &state.refresh_lock,
             &state.ingest,
@@ -284,7 +287,7 @@ mod tests {
     use super::*;
     use ct_common::{AggFn, Catalog, ViewDef};
     use ct_cube::Relation;
-    use cubetree::engine::{CubetreeConfig, RolapEngine};
+    use cubetree::engine::{CubetreeConfig, CubetreeEngine, RolapEngine};
     use std::io::{Read, Write};
 
     fn tiny_engine() -> Arc<CubetreeEngine> {

@@ -6,13 +6,11 @@
 //! as `400` with a JSON error body — never a panic, never a wedged worker.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
 
 use ct_common::query::{normalize_rows, QueryRow};
 use ct_common::{AttrId, Catalog, CtError, SliceQuery};
 use ct_cube::Relation;
-use cubetree::query::plan_generation_query;
-use cubetree::{CubetreeEngine, RolapEngine};
+use cubetree::ServingEngine;
 
 use crate::admission::Admission;
 use crate::compactor::IngestConfig;
@@ -73,7 +71,7 @@ pub struct ValidatedQuery {
 /// reads proceed concurrently under MVCC, but only one merge-pack may run
 /// at a time.
 pub fn dispatch(
-    engine: &Arc<CubetreeEngine>,
+    engine: &dyn ServingEngine,
     admission: &Admission,
     refresh_lock: &std::sync::Mutex<()>,
     ingest: &IngestConfig,
@@ -113,56 +111,48 @@ pub fn dispatch(
     }
 }
 
-fn handle_healthz(engine: &CubetreeEngine) -> Result<Response, ApiError> {
-    let generation = engine
-        .forest()
-        .map(|f| f.generation_number())
-        .ok_or_else(|| ApiError::internal("engine not loaded"))?;
+fn handle_healthz(engine: &dyn ServingEngine) -> Result<Response, ApiError> {
+    if !engine.loaded() {
+        return Err(ApiError::internal("engine not loaded"));
+    }
+    let generation = engine.generation();
     Ok(Response::json(
         200,
         format!("{{\"status\": \"ok\", \"generation\": {generation}}}"),
     ))
 }
 
-fn handle_views(engine: &CubetreeEngine) -> Result<Response, ApiError> {
-    let forest = engine.forest().ok_or_else(|| ApiError::internal("engine not loaded"))?;
-    let catalog = engine.catalog();
-    let pin = forest.pin();
+fn handle_views(engine: &dyn ServingEngine) -> Result<Response, ApiError> {
+    let (generation, infos) = engine
+        .views()
+        .map_err(|_| ApiError::internal("engine not loaded"))?;
     let mut views = Vec::new();
-    for p in pin.placements() {
-        let projection: Vec<String> = p
-            .def
-            .projection
-            .iter()
-            .map(|a| json::escape(&catalog.attr(*a).name))
-            .collect();
+    for v in infos {
+        let projection: Vec<String> =
+            v.projection.iter().map(|n| json::escape(n)).collect();
         views.push(format!(
             "{{\"id\": {}, \"name\": {}, \"projection\": [{}], \"agg\": {}, \"entries\": {}, \"replica\": {}}}",
-            p.def.id.0,
-            json::escape(&p.def.display_name(catalog)),
+            v.id,
+            json::escape(&v.name),
             projection.join(", "),
-            json::escape(&format!("{:?}", p.def.agg)),
-            pin.entries_of(p.def.id),
-            p.logical != p.def.id,
+            json::escape(&format!("{:?}", v.agg)),
+            v.entries,
+            v.replica,
         ));
     }
     Ok(Response::json(
         200,
-        format!(
-            "{{\"generation\": {}, \"views\": [{}]}}",
-            pin.number(),
-            views.join(", ")
-        ),
+        format!("{{\"generation\": {generation}, \"views\": [{}]}}", views.join(", ")),
     ))
 }
 
-fn handle_metrics(engine: &CubetreeEngine) -> Result<Response, ApiError> {
-    Ok(Response::json(200, engine.env().recorder().snapshot().to_json()))
+fn handle_metrics(engine: &dyn ServingEngine) -> Result<Response, ApiError> {
+    Ok(Response::json(200, engine.metrics_json()))
 }
 
 /// The query path: parse → validate → admission queue → wait → format.
 fn handle_query(
-    engine: &Arc<CubetreeEngine>,
+    engine: &dyn ServingEngine,
     admission: &Admission,
     req: &Request,
 ) -> Response {
@@ -286,7 +276,7 @@ fn query_rows_csv(columns: &[String], rows: &[QueryRow]) -> String {
 /// 400 for malformed JSON, unknown keys/attributes, out-of-domain values,
 /// grouped-and-sliced overlap, or a group-by no materialized view derives.
 pub fn validate_query_request(
-    engine: &CubetreeEngine,
+    engine: &dyn ServingEngine,
     req: &Request,
 ) -> Result<ValidatedQuery, ApiError> {
     let catalog = engine.catalog();
@@ -392,9 +382,8 @@ pub fn validate_query_request(
     // Planability check (covers "bad dimension arity": a group-by set no
     // materialized view derives). Planned against the current generation;
     // views are never dropped by refresh, so a plan that exists now exists
-    // in the generation the batch eventually pins.
-    let forest = engine.forest().ok_or_else(|| ApiError::internal("engine not loaded"))?;
-    if let Err(e) = plan_generation_query(&forest.pin(), catalog, &query) {
+    // in the generation(s) the batch eventually pins.
+    if let Err(e) = engine.plan_check(&query) {
         return Err(match e {
             CtError::Unsupported(msg) => ApiError::bad_request(msg),
             other => ApiError::internal(format!("planning failed: {other}")),
@@ -458,17 +447,17 @@ fn requested_format(req: &Request, doc: &Json) -> Result<Format, ApiError> {
 ///  "rows": [[1, 2, 3, 40], [2, 2, 3, 5]]}
 /// ```
 /// where each row lists one key per attribute followed by the measure.
-fn handle_refresh(engine: &CubetreeEngine, req: &Request) -> Result<Response, ApiError> {
+fn handle_refresh(engine: &dyn ServingEngine, req: &Request) -> Result<Response, ApiError> {
     let delta = parse_fact_body(engine.catalog(), req, "refresh")?;
     let applied = delta.len();
     engine.refresh(&delta).map_err(|e| match e {
         CtError::InvalidArgument(msg) | CtError::Unsupported(msg) => ApiError::bad_request(msg),
         other => ApiError::internal(format!("refresh failed: {other}")),
     })?;
-    let generation = engine
-        .forest()
-        .map(|f| f.generation_number())
-        .ok_or_else(|| ApiError::internal("engine not loaded"))?;
+    if !engine.loaded() {
+        return Err(ApiError::internal("engine not loaded"));
+    }
+    let generation = engine.generation();
     Ok(Response::json(
         200,
         format!("{{\"generation\": {generation}, \"applied_rows\": {applied}}}"),
@@ -547,7 +536,7 @@ fn parse_fact_body(
 /// [`IngestConfig::hard_max_rows`] — the compactor is behind, so the client
 /// should back off rather than grow the memtables without bound.
 fn handle_ingest(
-    engine: &Arc<CubetreeEngine>,
+    engine: &dyn ServingEngine,
     admission: &Admission,
     config: &IngestConfig,
     req: &Request,
@@ -585,8 +574,7 @@ fn handle_ingest(
     let stats = engine.delta_stats();
     let (resident, sealed) =
         stats.map_or((0, 0), |s| (s.resident_rows(), s.sealed_tiers as u64));
-    let generation =
-        engine.forest().map_or(0, |f| f.generation_number());
+    let generation = engine.generation();
     Response::json(
         200,
         format!(
@@ -600,7 +588,8 @@ fn handle_ingest(
 mod tests {
     use super::*;
     use ct_common::{AggFn, ViewDef};
-    use cubetree::engine::{CubetreeConfig, RolapEngine};
+    use cubetree::engine::{CubetreeConfig, CubetreeEngine, RolapEngine};
+    use std::sync::Arc;
 
     fn engine() -> CubetreeEngine {
         let mut catalog = Catalog::new();
@@ -641,7 +630,7 @@ mod tests {
     fn ctx() -> Ctx {
         let engine = Arc::new(engine());
         let admission = crate::admission::Admission::start(
-            Arc::clone(&engine),
+            engine.clone(),
             crate::admission::AdmissionConfig::default(),
         );
         Ctx { engine, admission, refresh_lock: std::sync::Mutex::new(()), ingest: IngestConfig::default() }
@@ -649,7 +638,13 @@ mod tests {
 
     impl Ctx {
         fn dispatch(&self, req: &Request) -> Response {
-            dispatch(&self.engine, &self.admission, &self.refresh_lock, &self.ingest, req)
+            dispatch(
+                self.engine.as_ref(),
+                &self.admission,
+                &self.refresh_lock,
+                &self.ingest,
+                req,
+            )
         }
     }
 

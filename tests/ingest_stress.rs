@@ -85,7 +85,7 @@ fn concurrent_ingest_query_compaction_zero_5xx_and_exact_drain() {
         },
         ..ServerConfig::default()
     };
-    let server = CtServer::start(Arc::clone(&engine), config).unwrap();
+    let server = CtServer::start(engine.clone(), config).unwrap();
     let addr = server.addr().to_string();
 
     let acknowledged = AtomicI64::new(0); // sum of measures in 200-acked batches

@@ -128,7 +128,7 @@ fn loopback_answers_are_bit_identical_to_sequential_query() {
     // the interesting path; the reference answers use the engine's
     // sequential query() directly.
     let (engine, attrs) = build_engine(2);
-    let server = CtServer::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let server = CtServer::start(engine.clone(), ServerConfig::default()).unwrap();
     let addr = server.addr().to_string();
     let (p, s, t) = (attrs[0], attrs[1], attrs[2]);
     let queries = vec![
@@ -186,7 +186,7 @@ fn loopback_answers_are_bit_identical_to_sequential_query() {
 #[test]
 fn refresh_during_queries_is_snapshot_consistent() {
     let (engine, attrs) = build_engine(2);
-    let server = CtServer::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let server = CtServer::start(engine.clone(), ServerConfig::default()).unwrap();
     let addr = server.addr().to_string();
     let (p, s) = (attrs[0], attrs[1]);
     let probe = SliceQuery::new(vec![s], vec![(p, 1)]);

@@ -1,0 +1,235 @@
+//! Crash-safety of a *multi-shard* refresh: each shard commits its part of
+//! the update atomically through its own manifest, but the update as a
+//! whole is not atomic — a crash can leave some shards on the new
+//! generation and others on the old one. Recovery must converge the forest
+//! to a consistent cut:
+//!
+//! * if at least one touched shard committed before the crash, the update
+//!   rolls *forward* — [`ShardedEngine::recover_update`] re-applies the
+//!   delta only to the shards whose generation lags (never double-applying
+//!   to a shard that already committed);
+//! * if no shard committed, nothing is re-applied and the cut is the
+//!   pre-update state.
+//!
+//! Divergence is injected with distinct per-shard fault plans
+//! ([`ShardedConfig::with_shard_faults`]): one shard armed to "crash" right
+//! after its commit swap (durable), another before its commit (aborted).
+//! A plain reopen roundtrip checks that `shards.meta` pins the layout.
+
+use cubetrees_repro::common::query::{normalize_rows, QueryRow};
+use cubetrees_repro::common::AttrId;
+use cubetrees_repro::storage::{FaultPlan, TempDir};
+use cubetrees_repro::{
+    AggFn, Catalog, CubetreeConfig, Relation, RolapEngine, ShardSpec, ShardedConfig,
+    ShardedEngine, SliceQuery, ViewDef,
+};
+use std::path::Path;
+
+const SHARDS: usize = 3;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_attr("p", 8);
+    cat.add_attr("s", 4);
+    cat
+}
+
+fn views() -> Vec<ViewDef> {
+    let (p, s) = (AttrId(0), AttrId(1));
+    vec![
+        ViewDef::new(0, vec![p, s], AggFn::Sum),
+        ViewDef::new(1, vec![p], AggFn::Count),
+        ViewDef::new(2, vec![s], AggFn::Avg),
+        ViewDef::new(3, vec![], AggFn::Sum),
+    ]
+}
+
+fn fact() -> Relation {
+    let (p, s) = (AttrId(0), AttrId(1));
+    let mut keys = Vec::new();
+    let mut measures = Vec::new();
+    let mut x = 0xC4A5u64;
+    for _ in 0..600 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.extend_from_slice(&[x % 8 + 1, (x >> 19) % 4 + 1]);
+        measures.push(((x >> 37) % 25) as i64 + 1);
+    }
+    Relation::from_fact(vec![p, s], keys, &measures)
+}
+
+/// A delta confined to exactly two partition keys, so it touches exactly
+/// the shards owning those keys.
+fn delta_for(keys_p: &[u64]) -> Relation {
+    let (p, s) = (AttrId(0), AttrId(1));
+    let mut keys = Vec::new();
+    let mut measures = Vec::new();
+    let mut x = 0xD317Au64;
+    for i in 0..60 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        keys.extend_from_slice(&[keys_p[i % keys_p.len()], x % 4 + 1]);
+        measures.push(((x >> 31) % 13) as i64 + 1);
+    }
+    Relation::from_fact(vec![p, s], keys, &measures)
+}
+
+fn config(faults: Vec<FaultPlan>) -> ShardedConfig {
+    let p = AttrId(0);
+    let mut c = ShardedConfig::new(
+        CubetreeConfig::new(views()).with_threads(SHARDS),
+        ShardSpec::new(SHARDS).with_partition_attr(p),
+    );
+    if !faults.is_empty() {
+        c = c.with_shard_faults(faults);
+    }
+    c
+}
+
+fn probes() -> Vec<SliceQuery> {
+    let (p, s) = (AttrId(0), AttrId(1));
+    vec![
+        SliceQuery::new(vec![], vec![]),
+        SliceQuery::new(vec![p, s], vec![]),
+        SliceQuery::new(vec![p], vec![]),
+        SliceQuery::new(vec![s], vec![]),
+        SliceQuery::new(vec![s], vec![(p, 3)]),
+    ]
+}
+
+fn answers(e: &ShardedEngine) -> Vec<Vec<QueryRow>> {
+    probes().iter().map(|q| normalize_rows(e.query(q).unwrap())).collect()
+}
+
+/// Builds a persistent sharded forest at `root` and returns two partition
+/// keys owned by two *different* shards (so a delta over them provably
+/// spans shards).
+fn build(root: &Path, cat: &Catalog) -> (u64, u64) {
+    let mut e = ShardedEngine::open_at(root, cat.clone(), config(vec![])).unwrap();
+    e.load(&fact()).unwrap();
+    let router = e.router().clone();
+    let key_a = 1u64;
+    let key_b = (2..=8u64)
+        .find(|&k| router.route(k) != router.route(key_a))
+        .expect("8 keys over 3 hash shards must span at least 2 shards");
+    (key_a, key_b)
+}
+
+/// Clean twin at a throwaway root: the expected pre- and post-update
+/// answers for the same fact and delta.
+fn expected(cat: &Catalog, delta: &Relation) -> (Vec<Vec<QueryRow>>, Vec<Vec<QueryRow>>) {
+    let twin = TempDir::new("sharded-recovery-twin").unwrap();
+    let mut e = ShardedEngine::open_at(twin.path(), cat.clone(), config(vec![])).unwrap();
+    e.load(&fact()).unwrap();
+    let pre = answers(&e);
+    e.refresh(delta).unwrap();
+    let post = answers(&e);
+    (pre, post)
+}
+
+/// Reopens `root` with one dedicated fault plan per shard, arms
+/// `arm(shard, plan)` for each, runs the refresh (expecting failure), and
+/// reopens again with clean plans for recovery.
+fn crashed_refresh(
+    root: &Path,
+    cat: &Catalog,
+    delta: &Relation,
+    arm: impl Fn(usize, &FaultPlan),
+) -> ShardedEngine {
+    let plans: Vec<FaultPlan> = (0..SHARDS).map(|_| FaultPlan::new()).collect();
+    let e = ShardedEngine::open_at(root, cat.clone(), config(plans.clone())).unwrap();
+    for (i, plan) in plans.iter().enumerate() {
+        arm(i, plan);
+    }
+    let err = e.refresh(delta);
+    assert!(err.is_err(), "refresh with an armed crash point must fail");
+    drop(e);
+    // Simulated restart: per-shard manifests recover independently.
+    ShardedEngine::open_at(root, cat.clone(), config(vec![])).unwrap()
+}
+
+#[test]
+fn partially_committed_update_rolls_forward_to_a_consistent_cut() {
+    let cat = catalog();
+    let host = TempDir::new("sharded-recovery-forward").unwrap();
+    let root = host.path().join("forest");
+    let (key_a, key_b) = build(&root, &cat);
+    let delta = delta_for(&[key_a, key_b]);
+    let (pre, post) = expected(&cat, &delta);
+
+    // Shard A commits its part, then "crashes" (durable); shard B dies
+    // before its commit (aborted). The surviving generations diverge.
+    let e = ShardedEngine::open_at(&root, cat.clone(), config(vec![])).unwrap();
+    let (shard_a, shard_b) = (e.router().route(key_a), e.router().route(key_b));
+    drop(e);
+    let recovered = crashed_refresh(&root, &cat, &delta, |i, plan| {
+        if i == shard_a {
+            plan.arm_crash_point("update/after_swap");
+        } else if i == shard_b {
+            plan.arm_crash_point("update/pre_commit");
+        }
+    });
+    let got = answers(&recovered);
+    assert_ne!(got, post, "before recovery the cut is inconsistent (A new, B old)");
+    assert_ne!(got, pre, "shard A's commit survived the crash");
+
+    recovered.recover_update(&delta).unwrap();
+    assert_eq!(
+        answers(&recovered),
+        post,
+        "recovery must roll the update forward everywhere it was due"
+    );
+    // Idempotent: a second recovery pass finds no lagging shard and
+    // re-applies nothing.
+    recovered.recover_update(&delta).unwrap();
+    assert_eq!(answers(&recovered), post, "recover_update must be idempotent");
+}
+
+#[test]
+fn update_crashed_before_any_commit_recovers_to_pre_state() {
+    let cat = catalog();
+    let host = TempDir::new("sharded-recovery-pre").unwrap();
+    let root = host.path().join("forest");
+    let (key_a, key_b) = build(&root, &cat);
+    let delta = delta_for(&[key_a, key_b]);
+    let (pre, _post) = expected(&cat, &delta);
+
+    // Every touched shard dies before its commit: nothing became durable,
+    // so the consistent cut is the pre-update state and recovery must not
+    // invent a partial application.
+    let recovered = crashed_refresh(&root, &cat, &delta, |_, plan| {
+        plan.arm_crash_point("update/pre_commit");
+    });
+    assert_eq!(answers(&recovered), pre, "no commit happened; cut is pre-update");
+    recovered.recover_update(&delta).unwrap();
+    assert_eq!(
+        answers(&recovered),
+        pre,
+        "with no shard ahead, recovery re-applies nothing"
+    );
+}
+
+#[test]
+fn reopen_pins_layout_from_shards_meta_and_preserves_answers() {
+    let cat = catalog();
+    let host = TempDir::new("sharded-recovery-reopen").unwrap();
+    let root = host.path().join("forest");
+    let (key_a, key_b) = build(&root, &cat);
+    let delta = delta_for(&[key_a, key_b]);
+
+    let e = ShardedEngine::open_at(&root, cat.clone(), config(vec![])).unwrap();
+    e.refresh(&delta).unwrap();
+    let before = answers(&e);
+    let router = e.router().clone();
+    drop(e);
+
+    // Reopen asking for a *different* shard count: shards.meta wins, so the
+    // persisted layout (and routing) is what comes back.
+    let p = AttrId(0);
+    let other = ShardedConfig::new(
+        CubetreeConfig::new(views()).with_threads(2),
+        ShardSpec::new(1).with_partition_attr(p),
+    );
+    let reopened = ShardedEngine::open_at(&root, cat.clone(), other).unwrap();
+    assert_eq!(reopened.shards().len(), SHARDS, "shards.meta pins the shard count");
+    assert_eq!(reopened.router(), &router, "shards.meta pins the routing strategy");
+    assert_eq!(answers(&reopened), before, "answers survive the restart");
+}
