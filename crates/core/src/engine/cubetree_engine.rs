@@ -147,9 +147,18 @@ impl CubetreeEngine {
     /// is what makes a mixed read/refresh workload possible; the
     /// [`RolapEngine::update`] entry point delegates here.
     pub fn refresh(&self, delta: &Relation) -> Result<()> {
+        self.refresh_stamped(delta, None)
+    }
+
+    /// [`CubetreeEngine::refresh`] with an optional commit stamp recorded
+    /// in this engine's manifest at the flip point. The sharded layer
+    /// stamps each shard's part of a multi-shard refresh with the refresh
+    /// id, so crash recovery can tell committed shards from aborted ones
+    /// without guessing from generation numbers.
+    pub fn refresh_stamped(&self, delta: &Relation, stamp: Option<&str>) -> Result<()> {
         let forest = self.forest_ref()?;
         let _phase = self.env.phase("update");
-        forest.update(&self.env, &self.catalog, delta)?;
+        forest.update_stamped(&self.env, &self.catalog, delta, stamp)?;
         self.env.pool().flush_all()
     }
 

@@ -630,8 +630,22 @@ impl CubetreeForest {
         catalog: &Catalog,
         delta_fact: &Relation,
     ) -> Result<()> {
+        self.update_stamped(env, catalog, delta_fact, None)
+    }
+
+    /// [`CubetreeForest::update`] with an optional commit *stamp*: the
+    /// token is recorded in this environment's manifest at the atomic flip
+    /// (see [`StorageEnv::commit_manifest_stamped`]), so a multi-shard
+    /// refresh can later prove whether this forest committed its part.
+    pub fn update_stamped(
+        &self,
+        env: &StorageEnv,
+        catalog: &Catalog,
+        delta_fact: &Relation,
+        stamp: Option<&str>,
+    ) -> Result<()> {
         let _writer = self.writer.lock();
-        self.update_locked(env, catalog, delta_fact, &[])
+        self.update_locked(env, catalog, delta_fact, &[], stamp)
     }
 
     /// Compacts the resident delta tier into the forest: seals the active
@@ -649,7 +663,7 @@ impl CubetreeForest {
         let Some((rel, ids)) = self.delta.drain() else {
             return Ok(false);
         };
-        self.update_locked(env, catalog, &rel, &ids)?;
+        self.update_locked(env, catalog, &rel, &ids, None)?;
         Ok(true)
     }
 
@@ -663,6 +677,7 @@ impl CubetreeForest {
         catalog: &Catalog,
         delta_fact: &Relation,
         compacted: &[u64],
+        stamp: Option<&str>,
     ) -> Result<()> {
         let base = self.current.lock().clone();
         if delta_fact.has_retractions() {
@@ -762,7 +777,10 @@ impl CubetreeForest {
             env.pool().file(new_fid)?.sync()?;
             entries.push(env.manifest_entry(&tree_component(t), new_fid)?);
         }
-        env.commit_manifest(entries)?;
+        match stamp {
+            Some(s) => env.commit_manifest_stamped(entries, s)?,
+            None => env.commit_manifest(entries)?,
+        }
         env.faults().crash_point("update/post_commit")?;
         // Publish: swap the new generation into the cell. Readers pinning
         // from now on see the new trees; existing pins keep the base.

@@ -462,45 +462,101 @@ impl ShardedEngine {
     /// and each owning shard merge-packs its part in parallel (a shard with
     /// an empty part is skipped, so shard generations advance
     /// independently). Each shard's commit is atomic, but the multi-shard
-    /// update as a whole is not — see [`ShardedEngine::recover_update`].
+    /// update as a whole is not — before fanning out, a persistent engine
+    /// writes a *refresh intent* (`refresh.intent` at the root: a fresh
+    /// refresh id plus the touched shard set) and stamps the id into every
+    /// shard's manifest commit, so [`ShardedEngine::recover_update`] can
+    /// tell committed shards from aborted ones after a crash. The intent is
+    /// marked done once every shard has committed.
     pub fn refresh(&self, delta: &Relation) -> Result<()> {
         let parts = self.partition(delta)?;
+        let touched: Vec<usize> =
+            parts.iter().enumerate().filter(|(_, p)| !p.is_empty()).map(|(i, _)| i).collect();
+        if touched.is_empty() {
+            return Ok(());
+        }
+        let intent = match &self.root {
+            Some(root) => {
+                let id = read_intent(root)?.map_or(1, |i| i.id + 1);
+                let intent = RefreshIntent { id, pending: true, touched: touched.clone() };
+                write_intent(root, &intent)?;
+                Some(intent)
+            }
+            None => None,
+        };
+        let stamp = intent.as_ref().map(|i| refresh_stamp(i.id));
+        let stamp = stamp.as_deref();
         let jobs: Vec<Job<'_>> = self
             .shards
             .iter()
             .zip(&parts)
             .filter(|(_, part)| !part.is_empty())
-            .map(|(shard, part)| Box::new(move || shard.refresh(part)) as Job<'_>)
+            .map(|(shard, part)| {
+                Box::new(move || shard.refresh_stamped(part, stamp)) as Job<'_>
+            })
             .collect();
-        run_jobs(self.outer_threads, jobs)
+        run_jobs(self.outer_threads, jobs)?;
+        if let (Some(root), Some(mut intent)) = (&self.root, intent) {
+            intent.pending = false;
+            write_intent(root, &intent)?;
+        }
+        Ok(())
     }
 
     /// Converges a partially-committed multi-shard [`ShardedEngine::refresh`]
-    /// to a consistent cut after a crash: re-applies `delta` (the same
-    /// relation the crashed refresh was given) only to shards whose
-    /// generation lags the furthest-committed shard *among the shards the
-    /// delta touches*. If no shard committed before the crash, nothing is
-    /// re-applied — the cut is the pre-update state; if some did, the update
-    /// rolls forward everywhere it was due.
+    /// to a consistent cut after a crash, given `delta` (the same relation
+    /// the crashed refresh was given). The pending refresh intent names the
+    /// touched shards and the refresh id; a touched shard committed exactly
+    /// if its manifest carries that id as its stamp — commit status is never
+    /// inferred from generation numbers, which legitimately diverge across
+    /// shards (empty-part skips, independent delta compactions). If no
+    /// touched shard carries the stamp, nothing is re-applied — the cut is
+    /// the pre-update state; if at least one does, the delta is re-applied
+    /// to exactly the touched shards that lack it. Either way the intent is
+    /// then marked done, so a second pass is a no-op.
     pub fn recover_update(&self, delta: &Relation) -> Result<()> {
-        let parts = self.partition(delta)?;
-        let gen_of = |s: &CubetreeEngine| s.forest().map_or(0, CubetreeForest::generation_number);
-        let max_gen = self
-            .shards
+        let Some(root) = &self.root else {
+            // An ephemeral engine cannot survive a crash; there is nothing
+            // on disk to converge.
+            return Ok(());
+        };
+        let Some(intent) = read_intent(root)? else {
+            return Ok(());
+        };
+        if !intent.pending {
+            return Ok(());
+        }
+        if intent.touched.iter().any(|&i| i >= self.shards.len()) {
+            return Err(CtError::corrupt(
+                "refresh.intent names a shard outside the persisted layout",
+            ));
+        }
+        let stamp = refresh_stamp(intent.id);
+        let committed: Vec<usize> = intent
+            .touched
             .iter()
-            .zip(&parts)
-            .filter(|(_, part)| !part.is_empty())
-            .map(|(s, _)| gen_of(s))
-            .max()
-            .unwrap_or(0);
-        let jobs: Vec<Job<'_>> = self
-            .shards
-            .iter()
-            .zip(&parts)
-            .filter(|(shard, part)| !part.is_empty() && gen_of(shard) < max_gen)
-            .map(|(shard, part)| Box::new(move || shard.refresh(part)) as Job<'_>)
+            .copied()
+            .filter(|&i| self.shards[i].env().manifest().stamp.as_deref() == Some(stamp.as_str()))
             .collect();
-        run_jobs(self.outer_threads, jobs)
+        if !committed.is_empty() {
+            let parts = self.partition(delta)?;
+            let jobs: Vec<Job<'_>> = intent
+                .touched
+                .iter()
+                .filter(|i| !committed.contains(i) && !parts[**i].is_empty())
+                .map(|&i| {
+                    let shard = &self.shards[i];
+                    let part = &parts[i];
+                    let stamp = stamp.as_str();
+                    Box::new(move || shard.refresh_stamped(part, Some(stamp))) as Job<'_>
+                })
+                .collect();
+            run_jobs(self.outer_threads, jobs)?;
+        }
+        write_intent(
+            root,
+            &RefreshIntent { id: intent.id, pending: false, touched: intent.touched },
+        )
     }
 
     /// Pins every shard once (generation + delta snapshot under each
@@ -592,67 +648,16 @@ impl ShardedEngine {
             }
         }
     }
-}
 
-/// Per-shard output of a batched scatter: partial answers tagged with their
-/// position in the caller's query list, plus the shard's scheduler summary.
-struct ShardBatch<'a> {
-    partials: Vec<(usize, PartialAnswer<'a>)>,
-    sched: Option<SchedSummary>,
-}
-
-fn shard_forest(shard: &CubetreeEngine) -> Result<&CubetreeForest> {
-    shard.forest().ok_or_else(|| CtError::invalid("engine not loaded yet"))
-}
-
-impl RolapEngine for ShardedEngine {
-    fn name(&self) -> &'static str {
-        "cubetrees-sharded"
-    }
-
-    fn load(&mut self, fact: &Relation) -> Result<()> {
-        let col = fact.col_of(self.partition_attr).ok_or_else(|| {
-            CtError::invalid(format!(
-                "fact lacks the partition attribute {}",
-                self.catalog.attr(self.partition_attr).name
-            ))
-        })?;
-        self.resolve_router(fact, col);
-        let parts = self.partition(fact)?;
-        self.loaded_rows = parts.iter().map(|p| p.len() as u64).collect();
-        self.record_shard_gauges(&parts);
-        let jobs: Vec<Job<'_>> = self
-            .shards
-            .iter_mut()
-            .zip(&parts)
-            .map(|(shard, part)| Box::new(move || shard.load(part)) as Job<'_>)
-            .collect();
-        run_jobs(self.outer_threads, jobs)?;
-        if let Some(root) = &self.root {
-            write_meta(root, self.spec.shards, self.partition_attr, &self.router)?;
-        }
-        Ok(())
-    }
-
-    fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>> {
-        if self.shards.len() == 1 {
-            return self.shards[0].query(q);
-        }
-        let targets = self.router.shards_for(q, self.partition_attr);
-        self.record_fanout(targets.len());
-        self.gather_one(q, &targets)
-    }
-
-    fn query_batch(&self, queries: &[SliceQuery]) -> Result<BatchResult> {
-        // One shard is the unsharded engine: delegate so behavior (and the
-        // per-query I/O profile) is bit-identical to the baseline.
-        if self.shards.len() == 1 {
-            return self.shards[0].query_batch(queries);
-        }
-        // Route every query up front; each shard then serves its sub-batch
-        // under a single MVCC pin, reusing the batch scheduler when the
-        // shard environment is parallel. Plans are computed once, centrally,
-        // and shared by every shard (see [`Self::plan_across`]).
+    /// The multi-shard batch path behind [`RolapEngine::query_batch`] and
+    /// [`ServingEngine::serve_batch`]: routes every query up front, then
+    /// each owning shard serves its sub-batch under a single MVCC pin,
+    /// reusing the batch scheduler when the shard environment is parallel.
+    /// Plans are computed once, centrally, and shared by every shard (see
+    /// [`Self::plan_across`]). The returned generation stamp is summed over
+    /// the *pinned* per-shard snapshots — the same cut the answers were
+    /// computed from, even if a refresh commits mid-batch.
+    fn query_batch_stamped(&self, queries: &[SliceQuery]) -> Result<(u64, BatchResult)> {
         let mut assign: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (qi, q) in queries.iter().enumerate() {
             let targets = self.router.shards_for(q, self.partition_attr);
@@ -662,6 +667,7 @@ impl RolapEngine for ShardedEngine {
             }
         }
         let pins = self.pin_all()?;
+        let stamp: u64 = pins.iter().map(|(pin, _)| pin.number()).sum();
         let plans = queries
             .iter()
             .map(|q| self.plan_across(&pins, q))
@@ -750,7 +756,72 @@ impl RolapEngine for ShardedEngine {
             self.recorder
                 .observe("shard.gather_us", gather_start.elapsed().as_micros() as u64);
         }
-        Ok(BatchResult { results, sched: sched_total })
+        Ok((stamp, BatchResult { results, sched: sched_total }))
+    }
+}
+
+/// Per-shard output of a batched scatter: partial answers tagged with their
+/// position in the caller's query list, plus the shard's scheduler summary.
+struct ShardBatch<'a> {
+    partials: Vec<(usize, PartialAnswer<'a>)>,
+    sched: Option<SchedSummary>,
+}
+
+fn shard_forest(shard: &CubetreeEngine) -> Result<&CubetreeForest> {
+    shard.forest().ok_or_else(|| CtError::invalid("engine not loaded yet"))
+}
+
+impl RolapEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "cubetrees-sharded"
+    }
+
+    fn load(&mut self, fact: &Relation) -> Result<()> {
+        let col = fact.col_of(self.partition_attr).ok_or_else(|| {
+            CtError::invalid(format!(
+                "fact lacks the partition attribute {}",
+                self.catalog.attr(self.partition_attr).name
+            ))
+        })?;
+        self.resolve_router(fact, col);
+        let parts = self.partition(fact)?;
+        self.loaded_rows = parts.iter().map(|p| p.len() as u64).collect();
+        self.record_shard_gauges(&parts);
+        if let Some(root) = &self.root {
+            // Persist the resolved layout BEFORE any per-shard load commits:
+            // if the skew guard switched the router (or the layout changed)
+            // and the process crashes mid-load, a reopen must route the
+            // shards that did commit with the strategy they were partitioned
+            // under, never a stale one. A full rebuild also supersedes any
+            // crashed refresh, so a leftover intent is cleared here.
+            write_meta(root, self.spec.shards, self.partition_attr, &self.router)?;
+            clear_intent(root)?;
+        }
+        let jobs: Vec<Job<'_>> = self
+            .shards
+            .iter_mut()
+            .zip(&parts)
+            .map(|(shard, part)| Box::new(move || shard.load(part)) as Job<'_>)
+            .collect();
+        run_jobs(self.outer_threads, jobs)
+    }
+
+    fn query(&self, q: &SliceQuery) -> Result<Vec<QueryRow>> {
+        if self.shards.len() == 1 {
+            return self.shards[0].query(q);
+        }
+        let targets = self.router.shards_for(q, self.partition_attr);
+        self.record_fanout(targets.len());
+        self.gather_one(q, &targets)
+    }
+
+    fn query_batch(&self, queries: &[SliceQuery]) -> Result<BatchResult> {
+        // One shard is the unsharded engine: delegate so behavior (and the
+        // per-query I/O profile) is bit-identical to the baseline.
+        if self.shards.len() == 1 {
+            return self.shards[0].query_batch(queries);
+        }
+        Ok(self.query_batch_stamped(queries)?.1)
     }
 
     fn update(&mut self, delta: &Relation) -> Result<()> {
@@ -819,23 +890,31 @@ impl ServingEngine for ShardedEngine {
     /// already converts per-shard panics into errors, so a poisoned batch
     /// reports instead of unwinding into the server's batcher thread. Batch
     /// failures are whole-batch (matching the unsharded scheduled path).
+    /// The generation stamp is summed from the per-shard pins the batch
+    /// executed under — never from a separate pre-execution read, so a
+    /// refresh committing between stamp and execution cannot mislabel the
+    /// snapshot (the unsharded engine stamps from its pin the same way).
     fn serve_batch(
         &self,
         queries: &[SliceQuery],
     ) -> (u64, Vec<std::result::Result<Vec<QueryRow>, String>>) {
-        let generation = ShardedEngine::generation(self);
+        // One shard is the unsharded engine: its serve_batch stamps from
+        // the single pin it executes under.
+        if self.shards.len() == 1 {
+            return self.shards[0].serve_batch(queries);
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.query_batch(queries)
+            self.query_batch_stamped(queries)
         }));
         match outcome {
-            Ok(Ok(out)) => (generation, out.results.into_iter().map(Ok).collect()),
+            Ok(Ok((stamp, out))) => (stamp, out.results.into_iter().map(Ok).collect()),
             Ok(Err(e)) => {
                 let msg = format!("batch execution failed: {e}");
-                (generation, queries.iter().map(|_| Err(msg.clone())).collect())
+                (ShardedEngine::generation(self), queries.iter().map(|_| Err(msg.clone())).collect())
             }
             Err(_) => {
                 let msg = "batch execution panicked".to_string();
-                (generation, queries.iter().map(|_| Err(msg.clone())).collect())
+                (ShardedEngine::generation(self), queries.iter().map(|_| Err(msg.clone())).collect())
             }
         }
     }
@@ -942,6 +1021,88 @@ fn read_meta(root: &Path) -> Result<Option<ShardMeta>> {
     Ok(Some(ShardMeta { shards, partition_attr: attr, router }))
 }
 
+/// File name of the refresh-intent record at a sharded root.
+const INTENT_NAME: &str = "refresh.intent";
+
+/// The persisted intent of one multi-shard refresh: its refresh id, whether
+/// it is still pending (written before the fan-out, flipped to done after
+/// every shard committed or recovery converged), and the shards its delta
+/// touches. Ids are monotone per root — each refresh reads the last intent
+/// and takes `id + 1` — so a shard manifest stamped `refresh-<id>` proves
+/// that exact refresh committed there.
+struct RefreshIntent {
+    id: u64,
+    pending: bool,
+    touched: Vec<usize>,
+}
+
+/// The manifest stamp token of refresh `id`.
+fn refresh_stamp(id: u64) -> String {
+    format!("refresh-{id}")
+}
+
+/// Atomically writes `root/refresh.intent` (tmp + rename, same discipline
+/// as `shards.meta`).
+fn write_intent(root: &Path, intent: &RefreshIntent) -> Result<()> {
+    let touched: Vec<String> = intent.touched.iter().map(usize::to_string).collect();
+    let state = if intent.pending { "pending" } else { "done" };
+    let body =
+        format!("id {}\nstate {state}\ntouched {}\n", intent.id, touched.join(" "));
+    let tmp = root.join("refresh.intent.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, root.join(INTENT_NAME))?;
+    Ok(())
+}
+
+fn read_intent(root: &Path) -> Result<Option<RefreshIntent>> {
+    let path = root.join(INTENT_NAME);
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt =
+        || CtError::corrupt(format!("malformed refresh.intent at {}", path.display()));
+    let mut id = None;
+    let mut pending = None;
+    let mut touched = None;
+    for line in body.lines() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("id") => {
+                id = Some(it.next().ok_or_else(corrupt)?.parse().map_err(|_| corrupt())?);
+            }
+            Some("state") => match it.next().ok_or_else(corrupt)? {
+                "pending" => pending = Some(true),
+                "done" => pending = Some(false),
+                _ => return Err(corrupt()),
+            },
+            Some("touched") => {
+                touched = Some(
+                    it.map(|t| t.parse().map_err(|_| corrupt()))
+                        .collect::<Result<Vec<usize>>>()?,
+                );
+            }
+            _ => return Err(corrupt()),
+        }
+    }
+    Ok(Some(RefreshIntent {
+        id: id.ok_or_else(corrupt)?,
+        pending: pending.ok_or_else(corrupt)?,
+        touched: touched.ok_or_else(corrupt)?,
+    }))
+}
+
+/// Removes a leftover intent record (a full reload supersedes any crashed
+/// refresh). Missing files are fine.
+fn clear_intent(root: &Path) -> Result<()> {
+    match std::fs::remove_file(root.join(INTENT_NAME)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1002,6 +1163,25 @@ mod tests {
         write_meta(&root, 2, AttrId(0), &ShardRouter::Hash { shards: 2 }).unwrap();
         let m = read_meta(&root).unwrap().unwrap();
         assert_eq!(m.router, ShardRouter::Hash { shards: 2 });
+    }
+
+    #[test]
+    fn intent_roundtrip() {
+        let dir = ct_storage::TempDir::new("shard-intent").unwrap();
+        let root = dir.path().to_path_buf();
+        assert!(read_intent(&root).unwrap().is_none());
+        write_intent(&root, &RefreshIntent { id: 3, pending: true, touched: vec![0, 2] })
+            .unwrap();
+        let i = read_intent(&root).unwrap().unwrap();
+        assert_eq!((i.id, i.pending, i.touched), (3, true, vec![0, 2]));
+        assert_eq!(refresh_stamp(i.id), "refresh-3");
+        write_intent(&root, &RefreshIntent { id: 3, pending: false, touched: vec![0, 2] })
+            .unwrap();
+        assert!(!read_intent(&root).unwrap().unwrap().pending);
+        // Clearing is idempotent (a reload may clear an absent intent).
+        clear_intent(&root).unwrap();
+        assert!(read_intent(&root).unwrap().is_none());
+        clear_intent(&root).unwrap();
     }
 
     #[test]

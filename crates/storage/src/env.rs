@@ -398,8 +398,25 @@ impl StorageEnv {
     /// build-then-swap: before it the old file set is live, after it the new
     /// one is, and recovery deletes whichever side lost.
     pub fn commit_manifest(&self, entries: Vec<ManifestEntry>) -> Result<()> {
+        self.commit_manifest_inner(entries, None)
+    }
+
+    /// [`StorageEnv::commit_manifest`] with a commit *stamp*: an opaque
+    /// token (e.g. a sharded refresh id) recorded in the manifest and
+    /// carried forward by every later unstamped commit. Multi-shard crash
+    /// recovery reads it back via [`StorageEnv::manifest`] to decide whether
+    /// this environment committed a given refresh.
+    pub fn commit_manifest_stamped(&self, entries: Vec<ManifestEntry>, stamp: &str) -> Result<()> {
+        self.commit_manifest_inner(entries, Some(stamp))
+    }
+
+    fn commit_manifest_inner(&self, entries: Vec<ManifestEntry>, stamp: Option<&str>) -> Result<()> {
         let mut man = self.manifest.lock();
-        let next = Manifest { seq: man.seq + 1, entries };
+        let stamp = match stamp {
+            Some(s) => Some(s.to_string()),
+            None => man.stamp.clone(),
+        };
+        let next = Manifest { seq: man.seq + 1, stamp, entries };
         next.write_atomic(self.dir.path(), &self.faults)?;
         *man = next;
         self.manifest_commits.inc();

@@ -207,6 +207,96 @@ fn update_crashed_before_any_commit_recovers_to_pre_state() {
     );
 }
 
+/// The case generation comparison gets wrong: the touched shards start the
+/// crashed refresh at *diverged* generations (shard A is two refreshes
+/// ahead for unrelated reasons). Shard B commits the crashed refresh but
+/// still lags shard A's raw generation, and aborted shard A sits at the
+/// max — so a max-generation heuristic would double-apply B's part and
+/// silently drop A's. Stamp-based recovery must re-apply exactly A.
+#[test]
+fn recovery_converges_when_touched_generations_diverge() {
+    let cat = catalog();
+    let host = TempDir::new("sharded-recovery-diverge").unwrap();
+    let root = host.path().join("forest");
+    let (key_a, key_b) = build(&root, &cat);
+    let solo = delta_for(&[key_a]);
+    let delta = delta_for(&[key_a, key_b]);
+
+    // Advance shard A's generation twice, independently of shard B.
+    {
+        let e = ShardedEngine::open_at(&root, cat.clone(), config(vec![])).unwrap();
+        e.refresh(&solo).unwrap();
+        e.refresh(&solo).unwrap();
+    }
+    // Twin with the same history, plus the full update applied cleanly.
+    let twin = TempDir::new("sharded-recovery-diverge-twin").unwrap();
+    let mut t = ShardedEngine::open_at(twin.path(), cat.clone(), config(vec![])).unwrap();
+    t.load(&fact()).unwrap();
+    t.refresh(&solo).unwrap();
+    t.refresh(&solo).unwrap();
+    t.refresh(&delta).unwrap();
+    let post = answers(&t);
+
+    let e = ShardedEngine::open_at(&root, cat.clone(), config(vec![])).unwrap();
+    let (shard_a, shard_b) = (e.router().route(key_a), e.router().route(key_b));
+    drop(e);
+    let recovered = crashed_refresh(&root, &cat, &delta, |i, plan| {
+        if i == shard_b {
+            plan.arm_crash_point("update/after_swap");
+        } else if i == shard_a {
+            plan.arm_crash_point("update/pre_commit");
+        }
+    });
+    recovered.recover_update(&delta).unwrap();
+    assert_eq!(
+        answers(&recovered),
+        post,
+        "recovery must re-apply exactly the aborted shard, diverged generations or not"
+    );
+    recovered.recover_update(&delta).unwrap();
+    assert_eq!(answers(&recovered), post, "recover_update stays idempotent");
+}
+
+/// The resolved layout must be durable *before* any per-shard load commits:
+/// a crash mid-load may leave some shards holding range-partitioned data,
+/// and a reopen that fell back to the default hash routing would consult
+/// the wrong shard on equality-pruned queries and silently answer wrong.
+#[test]
+fn shards_meta_is_durable_before_shard_loads_commit() {
+    let cat = catalog();
+    let p = AttrId(0);
+    let host = TempDir::new("sharded-recovery-meta-first").unwrap();
+    let root = host.path().join("forest");
+    // A skew factor of 0.5 always trips the range fallback, so the resolved
+    // router provably differs from the hash default a meta-less reopen uses.
+    let skewed = |faults: Vec<FaultPlan>| {
+        let mut c = ShardedConfig::new(
+            CubetreeConfig::new(views()).with_threads(SHARDS),
+            ShardSpec::new(SHARDS).with_partition_attr(p).with_skew_factor(0.5),
+        );
+        if !faults.is_empty() {
+            c = c.with_shard_faults(faults);
+        }
+        c
+    };
+    let plans: Vec<FaultPlan> = (0..SHARDS).map(|_| FaultPlan::new()).collect();
+    let mut e = ShardedEngine::open_at(&root, cat.clone(), skewed(plans.clone())).unwrap();
+    plans[1].arm_crash_point("manifest/before_tmp");
+    assert!(e.load(&fact()).is_err(), "shard 1's load commit is armed to crash");
+    let router = e.router().clone();
+    drop(e);
+    let reopened = ShardedEngine::open_at(&root, cat.clone(), skewed(vec![])).unwrap();
+    assert_eq!(
+        reopened.router(),
+        &router,
+        "the range layout was durable before any shard load committed"
+    );
+    assert!(
+        reopened.shards()[1].forest().is_none(),
+        "the crashed shard reopens unloaded instead of serving misrouted data"
+    );
+}
+
 #[test]
 fn reopen_pins_layout_from_shards_meta_and_preserves_answers() {
     let cat = catalog();
