@@ -69,3 +69,14 @@ cargo test -q --offline --test sharded_equivalence --test sharded_recovery
 # wall/speedup, per-query page I/O, and the shard-skew report.
 cargo run -q --release --offline -p ct-bench --bin bench_shards -- \
   --sf 0.02 --queries 28 --threads 4 --json BENCH_shards.json > /dev/null
+# Answer-cache equivalence gate: random query/refresh/ingest/compact
+# interleavings must answer bit-identically with the cache on and off (both
+# engines), and a stamp mismatch must force a miss after every flip.
+cargo test -q --offline --test cache_equivalence
+# Answer-cache smoke: identical Zipf-skewed serving runs cache-on vs
+# cache-off; exits non-zero on any answer mismatch, zero hits, or if the
+# cached run reads more pages per query than
+# results/bench_cache_baseline.json allows. BENCH_cache.json records hit
+# rate and the page economy.
+cargo run -q --release --offline -p ct-bench --bin bench_cache -- \
+  --sf 0.01 --queries 240 --threads 2 --json BENCH_cache.json > /dev/null

@@ -26,6 +26,9 @@ pub struct BenchArgs {
     pub faults: u64,
     /// Shard count for partitioned-forest runs (1 = unsharded).
     pub shards: usize,
+    /// Zipf skew of the generated query stream (0 = the historical
+    /// uniform workload, byte-identical).
+    pub skew: f64,
 }
 
 impl Default for BenchArgs {
@@ -40,6 +43,7 @@ impl Default for BenchArgs {
             threads: 1,
             faults: 0,
             shards: 1,
+            skew: 0.0,
         }
     }
 }
@@ -88,11 +92,18 @@ impl BenchArgs {
                         .expect("--shards takes an int")
                         .max(1)
                 }
+                "--skew" => {
+                    out.skew = value("--skew").parse().expect("--skew takes a float");
+                    assert!(
+                        out.skew >= 0.0 && out.skew.is_finite(),
+                        "--skew takes a finite non-negative float"
+                    );
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--queries N] [--pool-frac F] \
                          [--json PATH] [--metrics PATH] [--threads N] [--faults N] \
-                         [--shards N]"
+                         [--shards N] [--skew F]"
                     );
                     std::process::exit(0);
                 }
@@ -189,6 +200,14 @@ mod tests {
         assert_eq!(a.shards, 4);
         let z = BenchArgs::parse_from(["--shards", "0"].iter().map(|s| s.to_string()));
         assert_eq!(z.shards, 1, "zero clamps to a single shard");
+    }
+
+    #[test]
+    fn skew_parses_with_uniform_default() {
+        let d = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!(d.skew, 0.0, "default is the uniform workload");
+        let a = BenchArgs::parse_from(["--skew", "1.1"].iter().map(|s| s.to_string()));
+        assert_eq!(a.skew, 1.1);
     }
 
     #[test]

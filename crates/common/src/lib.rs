@@ -29,5 +29,5 @@ pub use agg::{AggFn, AggState};
 pub use cost::CostModel;
 pub use error::{CtError, Result};
 pub use geom::{Point, Rect, COORD_MAX, MAX_DIMS};
-pub use query::SliceQuery;
+pub use query::{QueryKey, SliceQuery};
 pub use schema::{AttrId, AttrMeta, Catalog, Hierarchy, ViewDef, ViewId};

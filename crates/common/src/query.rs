@@ -126,6 +126,73 @@ impl SliceQuery {
     }
 }
 
+/// The canonical, hashable identity of a [`SliceQuery`] — the memoization
+/// key of the serving layer's answer cache.
+///
+/// Two requests that differ only in WHERE-clause order ask the same
+/// question, so predicates and ranges are sorted into a canonical order.
+/// `group_by` is kept in *request* order: result rows carry their key values
+/// aligned with the group-by list, so reordering it changes the answer shape
+/// and must produce a different key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    group_by: Vec<AttrId>,
+    predicates: Vec<(AttrId, u64)>,
+    ranges: Vec<(AttrId, u64, u64)>,
+}
+
+impl QueryKey {
+    /// A stable 64-bit digest (FNV-1a over the canonical encoding), suitable
+    /// for shard selection and frequency sketches. Deterministic across runs
+    /// and platforms, unlike [`std::hash::Hash`] through a keyed hasher.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.group_by.len() as u64);
+        for a in &self.group_by {
+            eat(u64::from(a.0));
+        }
+        eat(self.predicates.len() as u64);
+        for (a, v) in &self.predicates {
+            eat(u64::from(a.0));
+            eat(*v);
+        }
+        eat(self.ranges.len() as u64);
+        for (a, lo, hi) in &self.ranges {
+            eat(u64::from(a.0));
+            eat(*lo);
+            eat(*hi);
+        }
+        h
+    }
+
+    /// Approximate heap bytes this key holds (cache byte accounting).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.group_by.len() * std::mem::size_of::<AttrId>()
+            + self.predicates.len() * std::mem::size_of::<(AttrId, u64)>()
+            + self.ranges.len() * std::mem::size_of::<(AttrId, u64, u64)>()
+            + std::mem::size_of::<QueryKey>()) as u64
+    }
+}
+
+impl SliceQuery {
+    /// The canonical cache key of this query (see [`QueryKey`]).
+    pub fn cache_key(&self) -> QueryKey {
+        let mut predicates = self.predicates.clone();
+        predicates.sort_unstable();
+        let mut ranges = self.ranges.clone();
+        ranges.sort_unstable();
+        QueryKey { group_by: self.group_by.clone(), predicates, ranges }
+    }
+}
+
 /// One output row of a slice query: the group-by key values (in
 /// [`SliceQuery::group_by`] order) and the finalized aggregate.
 #[derive(Clone, Debug, PartialEq)]
@@ -216,6 +283,33 @@ mod tests {
     fn inverted_range_panics() {
         let (_, p, _, _) = catalog();
         let _ = SliceQuery::new(vec![], vec![]).with_range(p, 5, 2);
+    }
+
+    #[test]
+    fn cache_key_canonicalizes_predicate_order_only() {
+        let (_, p, s, cu) = catalog();
+        let a = SliceQuery::new(vec![cu], vec![(p, 1), (s, 2)]);
+        let b = SliceQuery::new(vec![cu], vec![(s, 2), (p, 1)]);
+        assert_eq!(a.cache_key(), b.cache_key(), "WHERE order is not identity");
+        assert_eq!(a.cache_key().digest(), b.cache_key().digest());
+        // Group-by order shapes the result rows, so it stays significant.
+        let c = SliceQuery::new(vec![p, s], vec![]);
+        let d = SliceQuery::new(vec![s, p], vec![]);
+        assert_ne!(c.cache_key(), d.cache_key(), "group-by order changes row keys");
+        // Different constants are different questions.
+        let e = SliceQuery::new(vec![cu], vec![(p, 1), (s, 3)]);
+        assert_ne!(a.cache_key(), e.cache_key());
+        assert_ne!(a.cache_key().digest(), e.cache_key().digest());
+        assert!(a.cache_key().approx_bytes() > 0);
+    }
+
+    #[test]
+    fn cache_key_digest_is_stable_across_calls() {
+        let (_, p, s, _) = catalog();
+        let q = SliceQuery::new(vec![s], vec![(p, 7)]).with_range(AttrId(2), 1, 4);
+        assert_eq!(q.cache_key().digest(), q.cache_key().digest());
+        let trimmed = SliceQuery::new(vec![s], vec![(p, 7)]);
+        assert_ne!(q.cache_key(), trimmed.cache_key(), "ranges are part of the key");
     }
 
     #[test]

@@ -142,6 +142,7 @@ pub struct DeltaSnapshot {
     attrs: Arc<Vec<AttrId>>,
     tiers: Vec<Arc<FrozenMemtable>>,
     groups: u64,
+    epoch: u64,
 }
 
 impl DeltaSnapshot {
@@ -159,6 +160,14 @@ impl DeltaSnapshot {
     /// are counted once per tier; they merge in the aggregator).
     pub fn groups(&self) -> u64 {
         self.groups
+    }
+
+    /// The tier's mutation epoch at snapshot time: every ingest, rotation
+    /// and compaction removal bumps it, so two snapshots with equal epochs
+    /// hold identical resident rows. Together with the generation number
+    /// this is the freshness stamp answer caches invalidate on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Iterates every resident `(key, state)` pair, tier by tier.
@@ -382,9 +391,15 @@ impl DeltaTier {
             tiers.push(Arc::new(st.active.freeze()));
         }
         let groups = tiers.iter().map(|t| t.rows.len() as u64).sum();
-        let snap = DeltaSnapshot { attrs: self.attrs.clone(), tiers, groups };
+        let snap =
+            DeltaSnapshot { attrs: self.attrs.clone(), tiers, groups, epoch: st.version };
         st.cached = Some((st.version, snap.clone()));
         snap
+    }
+
+    /// The current mutation epoch (see [`DeltaSnapshot::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().version
     }
 
     /// Current resident accounting.
@@ -542,6 +557,23 @@ mod tests {
         assert_eq!(rec.counter("ingest.compactions").get(), 1);
         assert_eq!(rec.gauge("ingest.memtable.rows").get(), 0.0);
         assert_eq!(rec.gauge("ingest.memtable.bytes").get(), 0.0);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let (t, [a, b]) = tier();
+        let e0 = t.epoch();
+        assert_eq!(t.snapshot().epoch(), e0, "empty snapshot carries the epoch");
+        t.ingest(&Relation::from_fact(vec![a, b], vec![1, 1], &[4])).unwrap();
+        let e1 = t.epoch();
+        assert!(e1 > e0, "ingest bumps the epoch");
+        assert_eq!(t.snapshot().epoch(), e1);
+        t.rotate();
+        let e2 = t.epoch();
+        assert!(e2 > e1, "rotation bumps the epoch");
+        let (_, ids) = t.drain().unwrap();
+        t.mark_compacted(&ids);
+        assert!(t.epoch() > e2, "compaction removal bumps the epoch");
     }
 
     #[test]

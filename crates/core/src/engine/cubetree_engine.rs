@@ -1,8 +1,8 @@
 //! The Cubetree storage engine (the paper's proposal).
 
 use crate::delta::{DeltaConfig, DeltaStats};
-use crate::engine::{BatchResult, RolapEngine, ServingEngine, ViewInfo};
-use crate::forest::CubetreeForest;
+use crate::engine::{BatchResult, RolapEngine, ServedAnswer, ServingEngine, ViewInfo};
+use crate::forest::{AnswerStamp, CubetreeForest};
 use crate::query::{
     execute_forest_query, execute_forest_query_batch, execute_generation_query_batch_with_delta,
     execute_query_with_delta, plan_generation_query,
@@ -318,12 +318,14 @@ impl ServingEngine for CubetreeEngine {
     fn serve_batch(
         &self,
         queries: &[SliceQuery],
-    ) -> (u64, Vec<std::result::Result<Vec<QueryRow>, String>>) {
+    ) -> (u64, Vec<std::result::Result<ServedAnswer, String>>) {
         let Some(forest) = self.forest.as_ref() else {
             return (0, queries.iter().map(|_| Err("engine not loaded".to_string())).collect());
         };
         let (pin, delta) = forest.pin_with_delta();
         let generation = pin.number();
+        let stamp = AnswerStamp::of(&pin, &delta);
+        let served = |rows: Vec<QueryRow>| ServedAnswer { rows, stamps: vec![stamp] };
         let answers = if self.env.parallelism().is_parallel() && queries.len() > 1 {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 execute_generation_query_batch_with_delta(
@@ -335,7 +337,7 @@ impl ServingEngine for CubetreeEngine {
                 )
             }));
             match outcome {
-                Ok(Ok(out)) => out.results.into_iter().map(Ok).collect(),
+                Ok(Ok(out)) => out.results.into_iter().map(|rows| Ok(served(rows))).collect(),
                 Ok(Err(e)) => {
                     let msg = format!("batch execution failed: {e}");
                     queries.iter().map(|_| Err(msg.clone())).collect()
@@ -359,7 +361,7 @@ impl ServingEngine for CubetreeEngine {
                         )
                     }));
                     match outcome {
-                        Ok(Ok(rows)) => Ok(rows),
+                        Ok(Ok(rows)) => Ok(served(rows)),
                         Ok(Err(e)) => Err(format!("query execution failed: {e}")),
                         Err(_) => Err("query execution panicked".to_string()),
                     }
@@ -367,6 +369,14 @@ impl ServingEngine for CubetreeEngine {
                 .collect()
         };
         (generation, answers)
+    }
+
+    fn answer_stamps(&self, q: &SliceQuery) -> Vec<AnswerStamp> {
+        let _ = q; // one environment: every query carries the same stamp
+        match self.forest.as_ref() {
+            Some(forest) => vec![forest.answer_stamp()],
+            None => Vec::new(),
+        }
     }
 
     fn refresh(&self, delta: &Relation) -> Result<()> {

@@ -18,6 +18,7 @@ pub use cubetree_engine::{CubetreeConfig, CubetreeEngine};
 pub(crate) use cubetree_engine::view_infos;
 
 use crate::delta::{DeltaConfig, DeltaStats};
+use crate::forest::AnswerStamp;
 use crate::sched::SchedSummary;
 use ct_common::query::QueryRow;
 use ct_common::{AggFn, Catalog, Result, SliceQuery};
@@ -86,6 +87,27 @@ pub struct ViewInfo {
     pub replica: bool,
 }
 
+/// One query's answer from [`ServingEngine::serve_batch`], paired with the
+/// freshness stamps of the pinned state it was computed from. The stamps are
+/// what the serving layer's answer cache stores alongside the rows: a later
+/// probe whose [`ServingEngine::answer_stamps`] equal these proves the
+/// current visible state is identical to the one this answer was read under,
+/// so replaying the rows is MVCC-equivalent to executing the query again.
+///
+/// A [`CubetreeEngine`] answer carries exactly one stamp. A sharded answer
+/// carries one stamp per shard the query was routed to, in shard order,
+/// followed by a *plan guard* stamp (the sum of every shard's generation,
+/// with a zero delta epoch): central planning scores placements by entry
+/// counts summed over **all** shards, so a refresh anywhere can change which
+/// placement answers a query even when the consulted shards did not move.
+#[derive(Clone, Debug)]
+pub struct ServedAnswer {
+    /// The query's result rows.
+    pub rows: Vec<QueryRow>,
+    /// Freshness stamps of the state the rows were computed from.
+    pub stamps: Vec<AnswerStamp>,
+}
+
 /// The engine face the HTTP serving layer binds to: batched reads under
 /// snapshot pins, streaming and bulk writes, delta accounting, and the
 /// metrics surface. Object-safe so one server binary can front either the
@@ -122,7 +144,15 @@ pub trait ServingEngine: Send + Sync {
     /// Execution must be panic-isolated: a poisoned query (or batch) comes
     /// back as `Err` strings rather than unwinding into the caller, so the
     /// server's batcher thread survives.
-    fn serve_batch(&self, queries: &[SliceQuery]) -> (u64, Vec<std::result::Result<Vec<QueryRow>, String>>);
+    fn serve_batch(&self, queries: &[SliceQuery]) -> (u64, Vec<std::result::Result<ServedAnswer, String>>);
+
+    /// The freshness stamps a fresh execution of `q` would carry right now
+    /// (see [`ServedAnswer::stamps`]), without pinning or executing
+    /// anything. The answer cache probes with these: equality against a
+    /// stored entry's stamps proves the entry is current. Returns an empty
+    /// vector when the engine is not loaded (an empty probe never matches a
+    /// stored entry, so unloaded engines simply miss).
+    fn answer_stamps(&self, q: &SliceQuery) -> Vec<AnswerStamp>;
 
     /// Bulk-incremental refresh through a shared reference (merge-pack the
     /// next generation(s) while concurrent reads keep their pins).

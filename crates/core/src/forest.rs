@@ -276,6 +276,31 @@ impl Drop for Generation {
     }
 }
 
+/// The freshness identity of one storage environment's visible state: the
+/// committed generation number plus the delta tier's mutation epoch (see
+/// [`DeltaSnapshot::epoch`]). Both components are monotone — generations
+/// only advance, delta epochs only grow — so two equal stamps imply an
+/// identical visible state: the same immutable packed trees and the same
+/// resident delta rows. That equivalence is what lets the serving layer's
+/// answer cache treat a stamp match as proof a memoized answer is
+/// bit-identical to a freshly pinned read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AnswerStamp {
+    /// Committed generation number of the packed trees.
+    pub generation: u64,
+    /// Delta-tier mutation epoch (bumped by ingest, rotation, compaction).
+    pub delta_epoch: u64,
+}
+
+impl AnswerStamp {
+    /// The stamp of a pinned snapshot: the pair
+    /// [`CubetreeForest::pin_with_delta`] took under the generation lock,
+    /// which is exactly the state the pinned reads answer from.
+    pub fn of(pin: &ReaderPin, delta: &DeltaSnapshot) -> AnswerStamp {
+        AnswerStamp { generation: pin.number(), delta_epoch: delta.epoch() }
+    }
+}
+
 /// A pinned reader's handle on one [`Generation`]. Holding it keeps the
 /// generation's trees and files alive — and readable — even if updates
 /// retire the generation meanwhile; reclamation happens when the last pin
@@ -586,6 +611,16 @@ impl CubetreeForest {
     /// The streaming-ingestion tier (thresholds, stats, snapshots).
     pub fn delta(&self) -> &DeltaTier {
         &self.delta
+    }
+
+    /// The freshness stamp of the state a read pinned right now would see:
+    /// generation number and delta epoch taken together under the generation
+    /// lock, the same consistent cut [`CubetreeForest::pin_with_delta`]
+    /// takes. Used by the serving-layer answer cache to probe without
+    /// paying for a pin.
+    pub fn answer_stamp(&self) -> AnswerStamp {
+        let cur = self.current.lock();
+        AnswerStamp { generation: cur.number, delta_epoch: self.delta.epoch() }
     }
 
     /// Absorbs fact rows into the in-memory delta tier. The rows become

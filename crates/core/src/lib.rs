@@ -62,9 +62,9 @@ pub mod shard;
 pub use delta::{DeltaConfig, DeltaSnapshot, DeltaStats, DeltaTier};
 pub use engine::{
     ConventionalConfig, ConventionalEngine, CubetreeConfig, CubetreeEngine, RolapEngine,
-    ServingEngine, ViewInfo,
+    ServedAnswer, ServingEngine, ViewInfo,
 };
-pub use forest::{CubetreeForest, Generation, ReaderPin};
+pub use forest::{AnswerStamp, CubetreeForest, Generation, ReaderPin};
 pub use sched::SchedSummary;
 pub use select_mapping::{select_mapping, MappingPlan, TreeSpec};
 pub use shard::{ShardRouter, ShardSpec, ShardedConfig, ShardedEngine};

@@ -21,9 +21,10 @@
 
 use crate::delta::{DeltaConfig, DeltaSnapshot, DeltaStats};
 use crate::engine::{
-    BatchResult, CubetreeConfig, CubetreeEngine, RolapEngine, ServingEngine, ViewInfo,
+    BatchResult, CubetreeConfig, CubetreeEngine, RolapEngine, ServedAnswer, ServingEngine,
+    ViewInfo,
 };
-use crate::forest::{CubetreeForest, ReaderPin};
+use crate::forest::{AnswerStamp, CubetreeForest, ReaderPin};
 use crate::jobs::{run_jobs, Job};
 use crate::query::{
     execute_planned_query_batch_partial, execute_planned_query_partial,
@@ -657,17 +658,45 @@ impl ShardedEngine {
     /// [`Self::plan_across`]). The returned generation stamp is summed over
     /// the *pinned* per-shard snapshots — the same cut the answers were
     /// computed from, even if a refresh commits mid-batch.
-    fn query_batch_stamped(&self, queries: &[SliceQuery]) -> Result<(u64, BatchResult)> {
+    ///
+    /// Alongside the answers, every query gets its cache stamps: one
+    /// [`AnswerStamp`] per consulted shard (from that shard's pin) plus a
+    /// trailing *plan guard* whose generation is the sum over **all**
+    /// pinned shards. Planning scores placements by entry counts summed
+    /// across every shard, so a refresh on a shard a query never touches
+    /// can still flip its chosen placement (and, for pruned queries, its
+    /// answer); the guard makes any refresh anywhere a stamp mismatch,
+    /// while ingests to non-consulted shards — which never affect planning
+    /// — keep the stamps matching so subset hits survive.
+    fn query_batch_stamped(
+        &self,
+        queries: &[SliceQuery],
+    ) -> Result<(u64, BatchResult, Vec<Vec<AnswerStamp>>)> {
         let mut assign: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut targets_per_q: Vec<Vec<usize>> = Vec::with_capacity(queries.len());
         for (qi, q) in queries.iter().enumerate() {
             let targets = self.router.shards_for(q, self.partition_attr);
             self.record_fanout(targets.len());
-            for s in targets {
+            for &s in &targets {
                 assign[s].push(qi);
             }
+            targets_per_q.push(targets);
         }
         let pins = self.pin_all()?;
         let stamp: u64 = pins.iter().map(|(pin, _)| pin.number()).sum();
+        let shard_stamps: Vec<AnswerStamp> =
+            pins.iter().map(|(pin, delta)| AnswerStamp::of(pin, delta)).collect();
+        let plan_guard = AnswerStamp { generation: stamp, delta_epoch: 0 };
+        let stamps: Vec<Vec<AnswerStamp>> = targets_per_q
+            .iter()
+            .map(|targets| {
+                targets
+                    .iter()
+                    .map(|&s| shard_stamps[s])
+                    .chain(std::iter::once(plan_guard))
+                    .collect()
+            })
+            .collect();
         let plans = queries
             .iter()
             .map(|q| self.plan_across(&pins, q))
@@ -756,7 +785,7 @@ impl ShardedEngine {
             self.recorder
                 .observe("shard.gather_us", gather_start.elapsed().as_micros() as u64);
         }
-        Ok((stamp, BatchResult { results, sched: sched_total }))
+        Ok((stamp, BatchResult { results, sched: sched_total }, stamps))
     }
 }
 
@@ -897,7 +926,7 @@ impl ServingEngine for ShardedEngine {
     fn serve_batch(
         &self,
         queries: &[SliceQuery],
-    ) -> (u64, Vec<std::result::Result<Vec<QueryRow>, String>>) {
+    ) -> (u64, Vec<std::result::Result<ServedAnswer, String>>) {
         // One shard is the unsharded engine: its serve_batch stamps from
         // the single pin it executes under.
         if self.shards.len() == 1 {
@@ -907,7 +936,14 @@ impl ServingEngine for ShardedEngine {
             self.query_batch_stamped(queries)
         }));
         match outcome {
-            Ok(Ok((stamp, out))) => (stamp, out.results.into_iter().map(Ok).collect()),
+            Ok(Ok((stamp, out, stamps))) => (
+                stamp,
+                out.results
+                    .into_iter()
+                    .zip(stamps)
+                    .map(|(rows, stamps)| Ok(ServedAnswer { rows, stamps }))
+                    .collect(),
+            ),
             Ok(Err(e)) => {
                 let msg = format!("batch execution failed: {e}");
                 (ShardedEngine::generation(self), queries.iter().map(|_| Err(msg.clone())).collect())
@@ -917,6 +953,36 @@ impl ServingEngine for ShardedEngine {
                 (ShardedEngine::generation(self), queries.iter().map(|_| Err(msg.clone())).collect())
             }
         }
+    }
+
+    /// The sharded probe: one stamp per shard the router would consult for
+    /// `q`, plus the plan guard (see `query_batch_stamped` for why
+    /// the guard exists). Stamp reads are per-shard, matching the
+    /// consistency of `pin_all` — the scatter-gather path itself pins
+    /// shards one at a time, so a probe-time match proves equivalence to a
+    /// fresh scatter-gather execution, which is the bar serving answers
+    /// already meet.
+    fn answer_stamps(&self, q: &SliceQuery) -> Vec<AnswerStamp> {
+        if self.shards.len() == 1 {
+            return ServingEngine::answer_stamps(&self.shards[0], q);
+        }
+        let mut shard_stamps = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            match s.forest() {
+                Some(f) => shard_stamps.push(f.answer_stamp()),
+                None => return Vec::new(),
+            }
+        }
+        let guard = AnswerStamp {
+            generation: shard_stamps.iter().map(|s| s.generation).sum(),
+            delta_epoch: 0,
+        };
+        self.router
+            .shards_for(q, self.partition_attr)
+            .into_iter()
+            .map(|s| shard_stamps[s])
+            .chain(std::iter::once(guard))
+            .collect()
     }
 
     fn refresh(&self, delta: &Relation) -> Result<()> {

@@ -21,6 +21,8 @@ use ct_common::query::QueryRow;
 use ct_common::SliceQuery;
 use cubetree::ServingEngine;
 
+use crate::cache::{AnswerCache, Probe};
+
 /// Tuning knobs for the admission queue and batch former.
 #[derive(Clone, Debug)]
 pub struct AdmissionConfig {
@@ -32,6 +34,13 @@ pub struct AdmissionConfig {
     pub max_delay: Duration,
     /// Advertised `Retry-After` (seconds) on refused submissions.
     pub retry_after_secs: u64,
+    /// Flush a forming batch immediately when the scheduler is idle instead
+    /// of waiting out `max_delay`. The batcher thread alternates forming
+    /// and executing, so arrivals during an execution still accumulate into
+    /// full batches under load (page economy is kept); idle-flush only
+    /// removes the forming delay when there is nothing to wait for, closing
+    /// most of the light-load latency gap against sequential dispatch.
+    pub flush_on_idle: bool,
 }
 
 impl Default for AdmissionConfig {
@@ -41,6 +50,7 @@ impl Default for AdmissionConfig {
             max_batch: 32,
             max_delay: Duration::from_millis(2),
             retry_after_secs: 1,
+            flush_on_idle: true,
         }
     }
 }
@@ -92,8 +102,14 @@ pub struct Admission {
 
 impl Admission {
     /// Creates the queue and spawns the batch-former thread, which executes
-    /// batches against `engine` until [`Admission::shutdown`].
-    pub fn start(engine: Arc<dyn ServingEngine>, config: AdmissionConfig) -> Admission {
+    /// batches against `engine` until [`Admission::shutdown`]. When `cache`
+    /// is present, each formed batch is probed against it before dispatch —
+    /// hits are answered from the cache, misses execute and populate it.
+    pub fn start(
+        engine: Arc<dyn ServingEngine>,
+        config: AdmissionConfig,
+        cache: Option<Arc<AnswerCache>>,
+    ) -> Admission {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
@@ -109,7 +125,7 @@ impl Admission {
         };
         std::thread::Builder::new()
             .name("ct-server-batcher".to_string())
-            .spawn(move || batcher(engine, shared, config))
+            .spawn(move || batcher(engine, shared, config, cache))
             .expect("spawn batcher thread");
         admission
     }
@@ -164,7 +180,12 @@ impl Admission {
 
 /// The batch-former loop: wait for work, form a batch (size or deadline
 /// triggered), execute it, answer every waiter.
-fn batcher(engine: Arc<dyn ServingEngine>, shared: Arc<Shared>, config: AdmissionConfig) {
+fn batcher(
+    engine: Arc<dyn ServingEngine>,
+    shared: Arc<Shared>,
+    config: AdmissionConfig,
+    cache: Option<Arc<AnswerCache>>,
+) {
     let recorder = engine.recorder().clone();
     let flushes = recorder.counter("server.batch.flushes");
     let batch_size = recorder.histogram("server.batch.size");
@@ -184,9 +205,18 @@ fn batcher(engine: Arc<dyn ServingEngine>, shared: Arc<Shared>, config: Admissio
                 // Items are queued while the batch forms; the depth bound
                 // therefore counts forming work too, which is what makes
                 // overload refuse instead of stall.
+                //
+                // This thread alternates forming and executing, so reaching
+                // this point means the scheduler is idle. With
+                // `flush_on_idle`, dispatch whatever is queued immediately:
+                // under load, arrivals accumulate while the previous batch
+                // executes and batches stay full; at light load there is
+                // nothing to wait for, so waiting out `max_delay` only adds
+                // latency.
                 let deadline = queue[0].enqueued_at + config.max_delay;
                 let now = Instant::now();
-                if queue.len() >= config.max_batch
+                if config.flush_on_idle
+                    || queue.len() >= config.max_batch
                     || now >= deadline
                     || shared.shutdown.load(Ordering::SeqCst)
                 {
@@ -205,7 +235,7 @@ fn batcher(engine: Arc<dyn ServingEngine>, shared: Arc<Shared>, config: Admissio
         flushes.inc();
         batch_size.record(batch.len() as u64);
         formed_us.record(batch[0].enqueued_at.elapsed().as_micros() as u64);
-        execute(engine.as_ref(), batch);
+        execute(engine.as_ref(), cache.as_deref(), batch);
     }
 }
 
@@ -213,18 +243,59 @@ fn batcher(engine: Arc<dyn ServingEngine>, shared: Arc<Shared>, config: Admissio
 /// single pinned snapshot per storage environment (one pin, or one per
 /// shard for a sharded engine) — and delivers per-query answers.
 ///
+/// With a cache, every query is first probed against the engine's current
+/// [`answer stamps`](ServingEngine::answer_stamps): hits are answered
+/// straight from the memoized rows (no planning, no pin, no page I/O) and
+/// only the misses are dispatched as a (smaller) batch; admitted misses
+/// populate the cache with the stamps their answers were computed under.
+/// A hit's reported generation is read at probe time — the stamp match
+/// proves the visible state equals the one the rows were computed from, so
+/// the current generation is the correct label.
+///
 /// Execution is panic-isolated by the engine: a panicking query (or batch)
 /// is answered as an error to its waiters instead of killing the batcher
 /// thread. Without this, one poisoned batch would strand every queued
 /// waiter in `recv()` and permanently eat the queue's capacity — the depth
 /// gauge would freeze above zero and every later submit would see spurious
 /// 429s.
-fn execute(engine: &dyn ServingEngine, batch: Vec<Pending>) {
-    let queries: Vec<SliceQuery> = batch.iter().map(|p| p.query.clone()).collect();
-    let (generation, answers): (u64, Vec<Result<Vec<QueryRow>, String>>) =
-        engine.serve_batch(&queries);
-    for (p, answer) in batch.into_iter().zip(answers) {
-        let _ = p.reply.send(answer.map(|rows| QueryAnswer { generation, rows }));
+fn execute(engine: &dyn ServingEngine, cache: Option<&AnswerCache>, batch: Vec<Pending>) {
+    let Some(cache) = cache else {
+        let queries: Vec<SliceQuery> = batch.iter().map(|p| p.query.clone()).collect();
+        let (generation, answers) = engine.serve_batch(&queries);
+        for (p, answer) in batch.into_iter().zip(answers) {
+            let _ = p
+                .reply
+                .send(answer.map(|served| QueryAnswer { generation, rows: served.rows }));
+        }
+        return;
+    };
+    // Probe phase: answer hits immediately, collect misses (with their
+    // already-computed cache keys and admission verdicts) for dispatch.
+    let mut misses: Vec<(Pending, ct_common::QueryKey, bool)> = Vec::new();
+    for p in batch {
+        let key = p.query.cache_key();
+        let stamps = engine.answer_stamps(&p.query);
+        match cache.probe(&key, &stamps) {
+            Probe::Hit(rows) => {
+                let answer =
+                    QueryAnswer { generation: engine.generation(), rows: (*rows).clone() };
+                let _ = p.reply.send(Ok(answer));
+            }
+            Probe::Miss { admit } => misses.push((p, key, admit)),
+        }
+    }
+    if misses.is_empty() {
+        return;
+    }
+    let queries: Vec<SliceQuery> = misses.iter().map(|(p, _, _)| p.query.clone()).collect();
+    let (generation, answers) = engine.serve_batch(&queries);
+    for ((p, key, admit), answer) in misses.into_iter().zip(answers) {
+        let _ = p.reply.send(answer.map(|served| {
+            if admit && !served.stamps.is_empty() {
+                cache.populate(key, served.stamps, Arc::new(served.rows.clone()));
+            }
+            QueryAnswer { generation, rows: served.rows }
+        }));
     }
 }
 
@@ -258,7 +329,7 @@ mod tests {
     #[test]
     fn answers_match_the_sequential_engine() {
         let engine = tiny_engine(1);
-        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default(), None);
         let q = query_for(&engine);
         let rx = admission.submit(q.clone()).unwrap();
         let answer = rx.recv().unwrap().unwrap();
@@ -276,13 +347,16 @@ mod tests {
         let engine = tiny_engine(1);
         // A long forming window and depth 2: the queue stays occupied while
         // the batch forms, so the third submit in the window is refused.
+        // Idle-flush must be off — it would drain each submit immediately
+        // and the queue would never fill.
         let cfg = AdmissionConfig {
             max_depth: 2,
             max_batch: 64,
             max_delay: Duration::from_millis(500),
             retry_after_secs: 7,
+            flush_on_idle: false,
         };
-        let admission = Admission::start(engine.clone(), cfg);
+        let admission = Admission::start(engine.clone(), cfg, None);
         let q = query_for(&engine);
         let rx1 = admission.submit(q.clone()).unwrap();
         let rx2 = admission.submit(q.clone()).unwrap();
@@ -303,7 +377,7 @@ mod tests {
             max_delay: Duration::from_millis(200),
             ..AdmissionConfig::default()
         };
-        let admission = Admission::start(engine.clone(), cfg);
+        let admission = Admission::start(engine.clone(), cfg, None);
         let q = query_for(&engine);
         let receivers: Vec<_> =
             (0..8).map(|_| admission.submit(q.clone()).unwrap()).collect();
@@ -317,7 +391,7 @@ mod tests {
     fn panicked_batch_answers_errors_and_keeps_serving() {
         let engine = tiny_engine(1);
         let recorder = engine.env().recorder().clone();
-        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default(), None);
         let p = RolapEngine::catalog(&*engine).attr_by_name("p").unwrap();
         // An inverted range never passes HTTP validation, but a struct
         // literal reaches the executor, where Rect::new panics. The batcher
@@ -339,7 +413,7 @@ mod tests {
     fn scheduler_error_releases_depth_capacity() {
         let engine = tiny_engine(1);
         let recorder = engine.env().recorder().clone();
-        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default(), None);
         // An attribute outside every view's derivation set: planning fails
         // with a clean error, which must come back as Err, not eat a slot.
         let alien = ct_common::AttrId(2);
@@ -354,7 +428,7 @@ mod tests {
     #[test]
     fn submit_after_shutdown_is_refused_not_stranded() {
         let engine = tiny_engine(1);
-        let admission = Admission::start(engine.clone(), AdmissionConfig::default());
+        let admission = Admission::start(engine.clone(), AdmissionConfig::default(), None);
         admission.shutdown();
         // The batcher may already be gone; a submit that enqueued anyway
         // would block its caller in recv() forever. It must refuse instead.

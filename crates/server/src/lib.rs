@@ -57,6 +57,7 @@
 //! ```
 
 pub mod admission;
+pub mod cache;
 pub mod compactor;
 pub mod http;
 pub mod json;
@@ -72,6 +73,7 @@ use ct_common::{CtError, Result};
 use cubetree::ServingEngine;
 
 use admission::{Admission, AdmissionConfig};
+use cache::{AnswerCache, CacheConfig};
 use compactor::{Compactor, IngestConfig};
 use http::{read_request, Response};
 
@@ -85,6 +87,9 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Streaming-ingestion thresholds and backpressure tuning.
     pub ingest: IngestConfig,
+    /// Generation-keyed answer-cache tuning (disable switch, byte budget,
+    /// admission threshold).
+    pub cache: CacheConfig,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +98,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             admission: AdmissionConfig::default(),
             ingest: IngestConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -133,7 +139,8 @@ impl CtServer {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let admission = Admission::start(Arc::clone(&engine), config.admission);
+        let cache = AnswerCache::from_config(&config.cache, engine.recorder());
+        let admission = Admission::start(Arc::clone(&engine), config.admission, cache);
         let compactor = Compactor::start(Arc::clone(&engine), config.ingest.clone());
         let state = Arc::new(ServerState {
             engine,

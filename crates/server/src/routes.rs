@@ -632,6 +632,7 @@ mod tests {
         let admission = crate::admission::Admission::start(
             engine.clone(),
             crate::admission::AdmissionConfig::default(),
+            None,
         );
         Ctx { engine, admission, refresh_lock: std::sync::Mutex::new(()), ingest: IngestConfig::default() }
     }

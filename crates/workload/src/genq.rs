@@ -1,32 +1,85 @@
 //! The random slice-query generator (paper §3.3).
 
+use std::collections::HashMap;
+
 use ct_common::{AttrId, Catalog, SliceQuery};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Generates uniform random slice queries over a cube lattice.
+/// Queries per hot pool when skew is enabled: the Zipf draw selects among
+/// this many distinct (up to collision) uniformly generated queries.
+const HOT_POOL: usize = 64;
+
+/// Pool key for queries drawn over the whole lattice (masks are always
+/// `< 2^MAX_DIMS`, so this value never collides with a real node mask).
+const WHOLE_LATTICE: usize = usize::MAX;
+
+/// Generates random slice queries over a cube lattice.
 ///
 /// Mirrors the paper's generator: a lattice view is drawn uniformly, then a
 /// query type (which subset of the view's attributes is sliced) uniformly,
 /// then each sliced attribute gets a uniform constant from its domain.
 /// No-predicate types are excluded by default.
+///
+/// With [`QueryGenerator::with_skew`], draws instead follow a Zipf
+/// distribution over a fixed pool of uniformly generated queries — the
+/// hot-set repeat pattern of real dashboard traffic. Skew `0` keeps the
+/// uniform path byte-identical to a generator built without the knob.
 pub struct QueryGenerator {
     base: Vec<AttrId>,
     cards: Vec<u64>,
     include_full_view: bool,
     rng: StdRng,
+    skew: f64,
+    /// Zipf CDF over pool ranks (empty when skew is 0).
+    zipf_cdf: Vec<f64>,
+    /// Lazily built hot pools, one per lattice node (plus the
+    /// whole-lattice sentinel). Built with the shared RNG, so a seeded
+    /// generator stays deterministic.
+    hot_pools: HashMap<usize, Vec<SliceQuery>>,
 }
 
 impl QueryGenerator {
     /// A generator over the lattice of `base` attributes.
     pub fn new(catalog: &Catalog, base: Vec<AttrId>, seed: u64) -> Self {
         let cards = base.iter().map(|&a| catalog.attr(a).cardinality).collect();
-        QueryGenerator { base, cards, include_full_view: false, rng: StdRng::seed_from_u64(seed) }
+        QueryGenerator {
+            base,
+            cards,
+            include_full_view: false,
+            rng: StdRng::seed_from_u64(seed),
+            skew: 0.0,
+            zipf_cdf: Vec::new(),
+            hot_pools: HashMap::new(),
+        }
     }
 
     /// Also generate no-predicate (whole-view) queries.
     pub fn with_full_view_queries(mut self) -> Self {
         self.include_full_view = true;
+        self
+    }
+
+    /// Draws queries Zipf(`skew`)-distributed over a fixed-size (64) hot
+    /// pool of uniform queries: rank `i` is drawn with weight
+    /// `1/(i+1)^skew`, so higher skew concentrates traffic on fewer
+    /// queries (`1.0` is the classic Zipf of web/OLAP traces). `0.0`
+    /// disables the pool entirely — the generator remains byte-identical
+    /// to one without the knob, not merely statistically uniform.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!(skew >= 0.0 && skew.is_finite(), "skew must be a finite non-negative value");
+        self.skew = skew;
+        self.zipf_cdf = if skew == 0.0 {
+            Vec::new()
+        } else {
+            let mut total = 0.0;
+            (0..HOT_POOL)
+                .map(|i| {
+                    total += 1.0 / ((i + 1) as f64).powf(skew);
+                    total
+                })
+                .collect()
+        };
         self
     }
 
@@ -40,15 +93,55 @@ impl QueryGenerator {
         (0..self.base.len()).filter(|i| mask & (1 << i) != 0).map(|i| self.base[i]).collect()
     }
 
-    /// The next random query over the whole lattice.
+    /// The next random query over the whole lattice (Zipf-skewed over a
+    /// hot pool when [`QueryGenerator::with_skew`] is set).
     pub fn next_query(&mut self) -> SliceQuery {
+        if self.skew != 0.0 {
+            return self.skewed_query(WHOLE_LATTICE);
+        }
         let mask = self.rng.gen_range(1..(1usize << self.base.len()));
-        self.next_query_on(mask)
+        self.uniform_query_on(mask)
     }
 
     /// The next random query on one lattice node (given as a bitmask over
-    /// the base attributes) — Figure 12 batches 100 queries per node.
+    /// the base attributes) — Figure 12 batches 100 queries per node. With
+    /// skew, draws come from the node's own hot pool.
     pub fn next_query_on(&mut self, mask: usize) -> SliceQuery {
+        if self.skew != 0.0 {
+            return self.skewed_query(mask);
+        }
+        self.uniform_query_on(mask)
+    }
+
+    /// A Zipf draw from the pool keyed by `key` (a node mask or
+    /// [`WHOLE_LATTICE`]), building the pool on first use.
+    fn skewed_query(&mut self, key: usize) -> SliceQuery {
+        if !self.hot_pools.contains_key(&key) {
+            let pool: Vec<SliceQuery> = (0..HOT_POOL)
+                .map(|_| {
+                    let mask = if key == WHOLE_LATTICE {
+                        self.rng.gen_range(1..(1usize << self.base.len()))
+                    } else {
+                        key
+                    };
+                    self.uniform_query_on(mask)
+                })
+                .collect();
+            self.hot_pools.insert(key, pool);
+        }
+        let rank = self.zipf_rank();
+        self.hot_pools[&key][rank].clone()
+    }
+
+    /// Inverse-CDF Zipf rank draw. The uniform variate comes from an
+    /// integer draw (the vendored RNG has no float ranges).
+    fn zipf_rank(&mut self) -> usize {
+        let total = *self.zipf_cdf.last().expect("skew enabled");
+        let u = self.rng.gen_range(0..u64::MAX) as f64 / u64::MAX as f64 * total;
+        self.zipf_cdf.partition_point(|&c| c <= u).min(HOT_POOL - 1)
+    }
+
+    fn uniform_query_on(&mut self, mask: usize) -> SliceQuery {
         let attrs: Vec<usize> =
             (0..self.base.len()).filter(|i| mask & (1 << i) != 0).collect();
         let k = attrs.len();
@@ -172,6 +265,46 @@ mod tests {
         assert_eq!(a, b);
         let c = generator(8).batch(50);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_skew_is_byte_identical_to_no_skew() {
+        let plain = generator(11).batch(200);
+        let skewed = generator(11).with_skew(0.0).batch(200);
+        assert_eq!(plain, skewed, "skew=0 must not perturb the uniform stream");
+    }
+
+    #[test]
+    fn skew_concentrates_repeats() {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut g = generator(12).with_skew(1.0);
+        const N: usize = 2000;
+        for q in g.batch(N) {
+            *counts.entry(format!("{q:?}")).or_default() += 1;
+        }
+        assert!(counts.len() <= HOT_POOL, "draws stay inside the hot pool");
+        let top = counts.values().copied().max().unwrap();
+        // Zipf(1) over 64 ranks puts ~21% of mass on rank 0; a uniform
+        // draw over the pool would give ~1.6%. Split the difference.
+        assert!(top * 10 >= N, "hottest query should absorb ≥10% of draws, got {top}/{N}");
+        // It is still a mix, not a single query.
+        assert!(counts.len() >= 8, "expected a spread of hot queries, got {}", counts.len());
+    }
+
+    #[test]
+    fn skewed_node_draws_stay_on_node() {
+        let mut g = generator(13).with_skew(1.2);
+        for _ in 0..200 {
+            let q = g.next_query_on(0b101);
+            assert_eq!(q.node(), vec![AttrId(0), AttrId(2)]);
+        }
+    }
+
+    #[test]
+    fn skew_is_deterministic_under_seed() {
+        let a = generator(14).with_skew(0.8).batch(100);
+        let b = generator(14).with_skew(0.8).batch(100);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct ServingConfig {
     pub ingest_frac: f64,
     /// Rows per ingested batch.
     pub ingest_rows: usize,
+    /// Zipf skew of each client's query stream over its hot pool
+    /// ([`QueryGenerator::with_skew`]); `0.0` keeps the historical uniform
+    /// stream byte-identical.
+    pub skew: f64,
     /// Workload seed; client `i` streams queries from `seed + i`.
     pub seed: u64,
 }
@@ -67,6 +71,7 @@ impl Default for ServingConfig {
             csv_frac: 0.25,
             ingest_frac: 0.0,
             ingest_rows: 8,
+            skew: 0.0,
             seed: 42,
         }
     }
@@ -324,7 +329,8 @@ fn client_loop(
     let mut client_conn = HttpClient::connect(addr)?;
     let top_mask = (1usize << base.len()) - 1;
     let base_attrs = base.clone();
-    let mut generator = QueryGenerator::new(catalog, base, cfg.seed + client as u64);
+    let mut generator =
+        QueryGenerator::new(catalog, base, cfg.seed + client as u64).with_skew(cfg.skew);
     // A cheap deterministic stream for the drilldown/CSV mix decisions,
     // independent of the query stream so the mix is stable per request
     // index whatever the queries are.
